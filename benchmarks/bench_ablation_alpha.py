@@ -1,0 +1,34 @@
+"""E12 - Section 4 remark: the reversion threshold alpha is arbitrary;
+phased work stays <= n/(1-alpha) but reversion fires more eagerly as the
+threshold rises."""
+
+from repro.analysis.experiments import experiment_e12
+from repro.core.registry import run_protocol
+from repro.sim.adversary import StaggeredWorkKills
+
+
+def test_protocol_d_heavy_losses_run(benchmark):
+    n, t = 256, 16
+    f = t // 2 + 1
+    plan = [(pid, 1) for pid in range(f)]
+
+    def run():
+        return run_protocol(
+            "D", n, t, adversary=StaggeredWorkKills.plan(plan), seed=4
+        )
+
+    result = benchmark(run)
+    assert result.completed
+    benchmark.extra_info["work"] = result.metrics.work_total
+
+
+def test_reproduce_e12_alpha_ablation(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: experiment_e12(quick=False), rounds=1, iterations=1
+    )
+    record_experiment(result)
+    assert result.all_ok, result.rows
+    by_threshold = {row["threshold"]: row for row in result.rows}
+    # Higher thresholds revert at least as eagerly as lower ones.
+    reverted_flags = [by_threshold[th]["reverted"] for th in (0.25, 0.5, 0.75)]
+    assert reverted_flags == sorted(reverted_flags)

@@ -1,0 +1,49 @@
+"""E9 - Section 2 motivation ablation: single-level checkpointing cannot
+combine O(n + t) work with O(t sqrt t) messages; the two-level scheme
+(Protocol A) achieves both and dominates the whole single-level frontier
+on effort."""
+
+from repro.analysis.experiments import experiment_e9
+from repro.core.registry import run_protocol
+from repro.sim.adversary import KillBeforeCheckpoint
+
+
+def test_naive_worst_case_run(benchmark):
+    """Sparse checkpoints + kill-before-checkpoint = maximal redone work."""
+    n, t = 1296, 36
+
+    def run():
+        return run_protocol(
+            "naive", n, t, interval=n // 2,
+            adversary=KillBeforeCheckpoint(t - 1), seed=1,
+        )
+
+    result = benchmark(run)
+    assert result.completed
+    assert result.metrics.work_total > 3 * n  # the work bound is blown
+    benchmark.extra_info["work"] = result.metrics.work_total
+
+
+def test_reproduce_e9_checkpoint_ablation(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: experiment_e9(quick=False), rounds=1, iterations=1
+    )
+    record_experiment(result)
+    assert result.all_ok, [row for row in result.rows if not row["ok"]]
+
+    small = [row for row in result.rows if row["scheme"].startswith("naive t=36")]
+    a_row = next(row for row in result.rows if row["scheme"] == "A (2-level)")
+    # Extremes fail their respective bounds.
+    sparse = max(small, key=lambda row: row["interval"])
+    dense = min(small, key=lambda row: row["interval"])
+    assert not sparse["work<=3n'"], "sparsest checkpointing must blow the work bound"
+    assert not dense["msgs<=9t^1.5"], "densest checkpointing must blow the message bound"
+    # Protocol A meets both bounds and beats every single-level interval
+    # on effort.
+    assert a_row["work<=3n'"] and a_row["msgs<=9t^1.5"]
+    assert a_row["effort"] < min(row["effort"] for row in small)
+    # At t=361 the numeric window is closed: every interval fails a bound.
+    large = [row for row in result.rows if row["scheme"] == "naive t=361"]
+    assert large, "full run must include the large-t instance"
+    for row in large:
+        assert not (row["work<=3n'"] and row["msgs<=9t^1.5"]), row

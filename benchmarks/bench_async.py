@@ -1,0 +1,37 @@
+"""E11 - the Section 2.1 remark: Protocol A runs asynchronously given a
+sound and complete failure detector, keeping its effort profile."""
+
+from repro.analysis.experiments import experiment_e11
+from repro.core.protocol_a_async import build_async_protocol_a
+from repro.sim.async_engine import AsyncEngine, uniform_delays
+from repro.work.tracker import WorkTracker
+
+
+def test_async_protocol_a_run(benchmark):
+    n, t = 512, 64
+    crash_times = {pid: 3.0 + 8.0 * pid for pid in range(1, 24)}
+
+    def run():
+        processes = build_async_protocol_a(n, t)
+        tracker = WorkTracker(n)
+        engine = AsyncEngine(
+            processes,
+            tracker=tracker,
+            seed=1,
+            crash_times=crash_times,
+            delay_model=uniform_delays(0.5, 4.0),
+        )
+        return engine.run()
+
+    result = benchmark(run)
+    assert result.completed
+    benchmark.extra_info["work"] = result.metrics.work_total
+    benchmark.extra_info["messages"] = result.metrics.messages_total
+
+
+def test_reproduce_e11_async(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: experiment_e11(quick=False), rounds=1, iterations=1
+    )
+    record_experiment(result)
+    assert result.all_ok, result.rows

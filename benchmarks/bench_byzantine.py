@@ -1,0 +1,45 @@
+"""E10 - Section 5: Byzantine agreement via work protocols.  Via B:
+O(n + t sqrt t) messages in O(n) rounds (Bracha's bound, constructive);
+via C: O(n + t log t) messages.  Agreement and validity always hold."""
+
+from repro.agreement.byzantine import ByzantineAgreement
+from repro.analysis.experiments import experiment_e10
+from repro.sim.adversary import RandomCrashes
+
+
+def test_byzantine_via_b_run(benchmark):
+    def run():
+        ba = ByzantineAgreement(64, 7, protocol="B")
+        return ba.run(
+            11,
+            adversary=RandomCrashes(7, max_action_index=12, victims=list(range(8))),
+            seed=1,
+        )
+
+    outcome = benchmark(run)
+    assert outcome.agreement and outcome.valid_for(11)
+    benchmark.extra_info["messages"] = outcome.metrics.messages_total
+
+
+def test_byzantine_via_c_run(benchmark):
+    def run():
+        ba = ByzantineAgreement(64, 7, protocol="C")
+        return ba.run(
+            11,
+            adversary=RandomCrashes(7, max_action_index=12, victims=list(range(8))),
+            seed=1,
+        )
+
+    outcome = benchmark(run)
+    assert outcome.agreement and outcome.valid_for(11)
+    benchmark.extra_info["messages"] = outcome.metrics.messages_total
+
+
+def test_reproduce_e10_byzantine(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: experiment_e10(quick=False), rounds=1, iterations=1
+    )
+    record_experiment(result)
+    assert result.all_ok, [row for row in result.rows if not row["ok"]]
+    for row in result.rows:
+        assert row["agreement"] and row["validity"]

@@ -1,0 +1,48 @@
+"""E13 - simulator scaling: the quiescence fast-forward makes wall time
+proportional to actions rather than rounds, so Protocol C's 2^(n+t)-round
+deadline stretches cost nothing to simulate (the 'slow at scale' risk of
+a naive round-by-round simulator)."""
+
+from repro.analysis.experiments import experiment_e13
+from repro.core.registry import run_protocol
+from repro.sim.adversary import KillActive, RandomCrashes
+
+
+def test_engine_scaling_large_a(benchmark):
+    result = benchmark(
+        lambda: run_protocol(
+            "A", 4096, 64, adversary=RandomCrashes(32, max_action_index=25), seed=1
+        )
+    )
+    assert result.completed
+    benchmark.extra_info["virtual_rounds"] = float(result.metrics.retire_round)
+
+
+def test_engine_scaling_protocol_c_exponential_rounds(benchmark):
+    result = benchmark(
+        lambda: run_protocol(
+            "C", 64, 16, adversary=KillActive(15, actions_before_kill=2), seed=1
+        )
+    )
+    assert result.completed
+    # The virtual clock ran astronomically further than wall time could.
+    assert result.metrics.retire_round > 10**9
+    benchmark.extra_info["virtual_rounds"] = float(result.metrics.retire_round)
+
+
+def test_engine_scaling_large_d(benchmark):
+    result = benchmark(
+        lambda: run_protocol(
+            "D", 4096, 64, adversary=RandomCrashes(20, max_action_index=30), seed=1
+        )
+    )
+    assert result.completed
+    benchmark.extra_info["rounds"] = result.metrics.retire_round
+
+
+def test_reproduce_e13_scaling(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: experiment_e13(quick=False), rounds=1, iterations=1
+    )
+    record_experiment(result)
+    assert result.all_ok, result.rows

@@ -1,0 +1,30 @@
+"""E8 - the implicit Section 1 comparison table: straw-man baselines burn
+Theta(tn) effort; the paper's protocols do not."""
+
+from repro.analysis.experiments import experiment_e8
+from repro.core.registry import run_protocol
+
+
+def test_replicate_baseline_run(benchmark):
+    result = benchmark(lambda: run_protocol("replicate", 500, 25, seed=1))
+    assert result.metrics.work_total == 500 * 25
+    benchmark.extra_info["work"] = result.metrics.work_total
+
+
+def test_naive_checkpointer_run(benchmark):
+    result = benchmark(lambda: run_protocol("naive", 500, 25, interval=1, seed=1))
+    assert result.metrics.messages_total == 500 * 24
+    benchmark.extra_info["messages"] = result.metrics.messages_total
+
+
+def test_reproduce_e8_intro_comparison(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: experiment_e8(quick=False), rounds=1, iterations=1
+    )
+    record_experiment(result)
+    assert result.all_ok, result.rows
+    efforts = {row["protocol"]: row["effort"] for row in result.rows}
+    # The paper's effort ordering: protocols strictly dominate straw-men.
+    assert efforts["A"] < efforts["replicate"]
+    assert efforts["B"] < efforts["replicate"]
+    assert efforts["C"] < efforts["naive"]

@@ -1,0 +1,30 @@
+"""E16 - Section 1.1: the paper's effort measure vs the
+Kanellakis-Shvartsman available-processor-steps measure."""
+
+from repro.analysis.experiments import experiment_e16
+from repro.core.registry import run_protocol
+from repro.sim.adversary import RandomCrashes
+
+
+def test_sequential_protocol_aps_run(benchmark):
+    result = benchmark(
+        lambda: run_protocol(
+            "A", 256, 16, adversary=RandomCrashes(8, max_action_index=20), seed=2
+        )
+    )
+    assert result.completed
+    metrics = result.metrics
+    assert metrics.available_processor_steps > metrics.effort
+    benchmark.extra_info["aps"] = metrics.available_processor_steps
+    benchmark.extra_info["effort"] = metrics.effort
+
+
+def test_reproduce_e16_measures(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: experiment_e16(quick=False), rounds=1, iterations=1
+    )
+    record_experiment(result)
+    assert result.all_ok, result.rows
+    by_name = {row["protocol"]: row for row in result.rows}
+    assert by_name["D"]["APS"] < by_name["A"]["APS"]
+    assert by_name["C"]["APS"] > 10 ** 6  # exponential deadlines dominate

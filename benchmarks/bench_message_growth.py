@@ -1,0 +1,18 @@
+"""E17 - the complexity separation as a measured figure: message counts
+fitted to t^p show C's t log t < A/B's t sqrt(t) < D's failure-driven
+t^2 growth."""
+
+from repro.analysis.experiments import experiment_e17
+
+
+def test_reproduce_e17_message_growth(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: experiment_e17(quick=False), rounds=1, iterations=1
+    )
+    record_experiment(result)
+    assert result.all_ok, result.rows
+    exponents = {
+        row["protocol"]: row["fit p (msgs ~ t^p)"] for row in result.rows
+    }
+    assert exponents["C"] < exponents["A"] < exponents["D"]
+    assert exponents["C"] < exponents["B"] < exponents["D"]

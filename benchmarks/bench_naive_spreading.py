@@ -1,0 +1,30 @@
+"""E15 - Section 3 motivation: without fault detection, the naive
+most-knowledgeable-takes-over spreader pays Theta(t^2) on the cascade
+schedule; Protocol C pays n + 2t."""
+
+from repro.analysis.experiments import experiment_e15
+from repro.core.registry import run_protocol
+from repro.sim.adversary import Cascade
+
+
+def test_naive_spreading_cascade_run(benchmark):
+    t = 64
+    adversary_factory = lambda: Cascade(
+        lead_units=t - 1, redo_units=t // 2, initial_dead=list(range(t // 2 + 1, t))
+    )
+    result = benchmark(
+        lambda: run_protocol("C-naive", 2 * t, t, adversary=adversary_factory(), seed=2)
+    )
+    assert result.completed
+    benchmark.extra_info["work"] = result.metrics.work_total
+
+
+def test_reproduce_e15_naive_vs_c(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: experiment_e15(quick=False), rounds=1, iterations=1
+    )
+    record_experiment(result)
+    assert result.all_ok, [row for row in result.rows if not row["ok"]]
+    fit_row = next(row for row in result.rows if str(row["t"]).startswith("fit"))
+    assert fit_row["naive work"] > 1.6   # ~quadratic
+    assert fit_row["C work"] < 1.3       # ~linear

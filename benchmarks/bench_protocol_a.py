@@ -1,0 +1,38 @@
+"""E1 - Theorem 2.3: Protocol A does <= 3n work and <= 9 t sqrt(t)
+messages in every execution, retiring by round nt + 3t^2."""
+
+from repro.analysis import bounds
+from repro.analysis.experiments import experiment_e1
+from repro.core.registry import run_protocol
+from repro.sim.adversary import KillActive
+
+
+def test_protocol_a_run_failure_free(benchmark):
+    result = benchmark(lambda: run_protocol("A", 512, 64, seed=1))
+    assert result.completed
+    benchmark.extra_info["work"] = result.metrics.work_total
+    benchmark.extra_info["messages"] = result.metrics.messages_total
+
+
+def test_protocol_a_run_under_takeover_storm(benchmark):
+    def run():
+        return run_protocol(
+            "A", 512, 64, adversary=KillActive(63, actions_before_kill=2), seed=1
+        )
+
+    result = benchmark(run)
+    assert result.completed
+    assert result.metrics.work_total <= bounds.protocol_a_work(512, 64).value
+    benchmark.extra_info["work"] = result.metrics.work_total
+    benchmark.extra_info["messages"] = result.metrics.messages_total
+
+
+def test_reproduce_e1_theorem_2_3(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: experiment_e1(quick=False), rounds=1, iterations=1
+    )
+    record_experiment(result)
+    assert result.all_ok, [row for row in result.rows if not row["ok"]]
+    for row in result.rows:
+        assert row["work"] <= row["work bound"]
+        assert row["messages"] <= row["msg bound"]

@@ -1,0 +1,48 @@
+"""E2 - Theorem 2.8: Protocol B keeps Protocol A's effort (<= 3n work,
+<= 10 t sqrt(t) messages) while retiring by round 3n + 8t."""
+
+from repro.analysis import bounds
+from repro.analysis.experiments import experiment_e2
+from repro.core.registry import run_protocol
+from repro.sim.adversary import KillActive
+
+
+def test_protocol_b_run_failure_free(benchmark):
+    result = benchmark(lambda: run_protocol("B", 512, 64, seed=1))
+    assert result.completed
+    assert result.metrics.retire_round <= bounds.protocol_b_rounds(512, 64).value
+    benchmark.extra_info["rounds"] = result.metrics.retire_round
+
+
+def test_protocol_b_run_under_takeover_storm(benchmark):
+    def run():
+        return run_protocol(
+            "B", 512, 64, adversary=KillActive(63, actions_before_kill=2), seed=1
+        )
+
+    result = benchmark(run)
+    assert result.completed
+    benchmark.extra_info["rounds"] = result.metrics.retire_round
+
+
+def test_b_linear_time_vs_a_quadratic(benchmark):
+    """The headline of Section 2.3: takeovers cost O(1) timeouts in B."""
+
+    def run_both():
+        adversary = lambda: KillActive(35, actions_before_kill=2)
+        a = run_protocol("A", 288, 36, adversary=adversary(), seed=2)
+        b = run_protocol("B", 288, 36, adversary=adversary(), seed=2)
+        return a, b
+
+    a, b = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert b.metrics.retire_round < a.metrics.retire_round / 3
+    benchmark.extra_info["a_rounds"] = a.metrics.retire_round
+    benchmark.extra_info["b_rounds"] = b.metrics.retire_round
+
+
+def test_reproduce_e2_theorem_2_8(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: experiment_e2(quick=False), rounds=1, iterations=1
+    )
+    record_experiment(result)
+    assert result.all_ok, [row for row in result.rows if not row["ok"]]

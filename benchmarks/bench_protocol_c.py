@@ -1,0 +1,64 @@
+"""E3/E4 - Theorem 3.8 and Corollary 3.9: Protocol C's O(n + t log t)
+messages (batched: O(t log t)) at exponential round counts, simulated
+via deadline fast-forward."""
+
+from repro.analysis import bounds
+from repro.analysis.experiments import experiment_e3, experiment_e4
+from repro.core.registry import run_protocol
+from repro.sim.adversary import Cascade, KillActive
+
+
+def test_protocol_c_run_failure_free(benchmark):
+    result = benchmark(lambda: run_protocol("C", 64, 16, seed=1))
+    assert result.completed
+    benchmark.extra_info["messages"] = result.metrics.messages_total
+    benchmark.extra_info["virtual_rounds"] = float(result.metrics.retire_round)
+
+
+def test_protocol_c_run_cascade(benchmark):
+    def run():
+        return run_protocol(
+            "C",
+            64,
+            16,
+            adversary=Cascade(lead_units=15, redo_units=1, initial_dead=list(range(9, 16))),
+            seed=1,
+        )
+
+    result = benchmark(run)
+    assert result.completed
+    assert result.metrics.work_total <= bounds.protocol_c_work(64, 16).value
+    benchmark.extra_info["work"] = result.metrics.work_total
+
+
+def test_protocol_c_message_advantage_over_a(benchmark):
+    """O(t log t) beats O(t sqrt t): work-poor, process-rich shape."""
+
+    def run_both():
+        adversary = lambda: KillActive(63, actions_before_kill=2)
+        a = run_protocol("A", 64, 64, adversary=adversary(), seed=3)
+        c = run_protocol("C", 64, 64, adversary=adversary(), seed=3)
+        return a, c
+
+    a, c = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert c.metrics.messages_total < a.metrics.messages_total
+    benchmark.extra_info["a_messages"] = a.metrics.messages_total
+    benchmark.extra_info["c_messages"] = c.metrics.messages_total
+
+
+def test_reproduce_e3_theorem_3_8(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: experiment_e3(quick=False), rounds=1, iterations=1
+    )
+    record_experiment(result)
+    assert result.all_ok, [row for row in result.rows if not row["ok"]]
+
+
+def test_reproduce_e4_corollary_3_9(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: experiment_e4(quick=False), rounds=1, iterations=1
+    )
+    record_experiment(result)
+    assert result.all_ok, [row for row in result.rows if not row["ok"]]
+    for row in result.rows:
+        assert row["batched msgs"] < row["plain msgs"]

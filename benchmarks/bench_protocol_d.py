@@ -1,0 +1,56 @@
+"""E5/E6/E7 - Theorem 4.1 and the Section 4 common cases: Protocol D's
+graceful time degradation, reversion path, and exact failure-free
+behaviour (n work, n/t + 2 rounds, <= 2 t^2 messages)."""
+
+from repro.analysis.experiments import experiment_e5, experiment_e6, experiment_e7
+from repro.core.registry import run_protocol
+from repro.sim.adversary import StaggeredWorkKills
+
+
+def test_protocol_d_run_failure_free(benchmark):
+    n, t = 1024, 32
+    result = benchmark(lambda: run_protocol("D", n, t, seed=1))
+    assert result.completed
+    assert result.metrics.work_total == n
+    assert result.metrics.retire_round + 1 == n // t + 2
+    assert result.metrics.messages_total <= 2 * t * t
+    benchmark.extra_info["rounds"] = result.metrics.retire_round + 1
+
+
+def test_protocol_d_run_with_failures(benchmark):
+    n, t = 1024, 32
+    adversary_plan = [(pid, 2) for pid in range(1, 9)]
+
+    def run():
+        return run_protocol(
+            "D", n, t, adversary=StaggeredWorkKills.plan(adversary_plan), seed=2
+        )
+
+    result = benchmark(run)
+    assert result.completed
+    assert result.metrics.work_total <= 2 * n
+    benchmark.extra_info["work"] = result.metrics.work_total
+
+
+def test_reproduce_e5_theorem_4_1_normal(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: experiment_e5(quick=False), rounds=1, iterations=1
+    )
+    record_experiment(result)
+    assert result.all_ok, [row for row in result.rows if not row["ok"]]
+
+
+def test_reproduce_e6_theorem_4_1_reversion(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: experiment_e6(quick=False), rounds=1, iterations=1
+    )
+    record_experiment(result)
+    assert result.all_ok, result.rows
+
+
+def test_reproduce_e7_common_cases(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: experiment_e7(quick=False), rounds=1, iterations=1
+    )
+    record_experiment(result)
+    assert result.all_ok, result.rows

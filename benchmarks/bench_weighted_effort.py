@@ -1,0 +1,17 @@
+"""E14 - the Conclusions' remark: which protocol is optimal depends on
+the relative price of messages and work."""
+
+from repro.analysis.experiments import experiment_e14
+
+
+def test_reproduce_e14_weighted_effort(benchmark, record_experiment):
+    result = benchmark.pedantic(
+        lambda: experiment_e14(quick=False), rounds=1, iterations=1
+    )
+    record_experiment(result)
+    assert result.all_ok
+    winners = {row["winner"] for row in result.rows}
+    assert len(winners) >= 2, "a single protocol dominated every cost model"
+    # Expensive messages must eventually favour the silent baseline.
+    heaviest = max(result.rows, key=lambda row: row["msg weight"])
+    assert heaviest["winner"] == "replicate"

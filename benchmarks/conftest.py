@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench file pairs (a) pytest-benchmark timings of representative
+protocol executions with (b) a full run of the corresponding experiment
+from ``repro.analysis.experiments``, asserting the paper claim's shape
+and writing the paper-vs-measured table under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.tables import render_dict_rows
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_experiment(results_dir):
+    """Persist an ExperimentResult as markdown + JSON for EXPERIMENTS.md."""
+
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        table = render_dict_rows(result.columns, result.rows, title=result.title)
+        body = (
+            f"# {result.exp_id}: {result.title}\n\n"
+            f"Paper claim: {result.claim}\n\n{table}\n\n"
+            f"Status: {'reproduced' if result.all_ok else 'NOT reproduced'}\n"
+        )
+        (results_dir / f"{result.exp_id}.md").write_text(body)
+        payload = {
+            "exp_id": result.exp_id,
+            "title": result.title,
+            "claim": result.claim,
+            "all_ok": result.all_ok,
+            "rows": [
+                {key: _jsonable(value) for key, value in row.items()}
+                for row in result.rows
+            ],
+        }
+        (results_dir / f"{result.exp_id}.json").write_text(json.dumps(payload, indent=2))
+        return result
+
+    return _record
+
+
+def _jsonable(value):
+    if isinstance(value, (int, str, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value if value == value and abs(value) != float("inf") else str(value)
+    return str(value)

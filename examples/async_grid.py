@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Protocol A on an asynchronous network with a failure detector.
+
+The paper notes (end of Section 2.1) that Protocol A's synchrony is used
+only to detect failures, so it runs unchanged in a fully asynchronous
+system given a sound and complete failure detector.  This example runs
+the async variant over a jittery network (message delays 0.5x-6x the
+compute step) while workstations drop out, and shows the effort profile
+matches the synchronous protocol's bounds.
+
+Run:  python examples/async_grid.py
+"""
+
+import math
+
+from repro.analysis.tables import render_table
+from repro.core.protocol_a_async import build_async_protocol_a
+from repro.sim.async_engine import AsyncEngine, uniform_delays
+from repro.sim.failure_detector import FailureDetector
+from repro.work.tracker import WorkTracker
+
+
+def main() -> None:
+    n, t = 200, 25
+    print(f"Async Do-All: n={n} units, t={t} processes, crash-prone network\n")
+
+    rows = []
+    for label, crash_times, seed in [
+        ("no failures", {}, 1),
+        ("leader dies early", {0: 5.0}, 2),
+        ("rolling failures", {pid: 4.0 + 11.0 * pid for pid in range(12)}, 3),
+        ("mass failure at t=30", {pid: 30.0 for pid in range(t - 1)}, 4),
+    ]:
+        processes = build_async_protocol_a(n, t)
+        tracker = WorkTracker(n)
+        engine = AsyncEngine(
+            processes,
+            tracker=tracker,
+            seed=seed,
+            delay_model=uniform_delays(0.5, 6.0),
+            failure_detector=FailureDetector(min_delay=2.0, max_delay=10.0),
+            crash_times=crash_times,
+        )
+        result = engine.run()
+        assert result.completed, label
+        metrics = result.metrics
+        rows.append(
+            [
+                label,
+                len(crash_times),
+                metrics.work_total,
+                metrics.messages_total,
+                metrics.redundant_work(),
+                "yes" if result.completed else "NO",
+            ]
+        )
+
+    print(
+        render_table(
+            ["scenario", "crashes", "work", "messages", "redone units", "completed"],
+            rows,
+        )
+    )
+    work_bound = 3 * max(n, t)
+    msg_bound = 9 * t * math.isqrt(t)
+    print(
+        f"\nTheorem 2.3 effort bounds still apply: work <= 3n' = {work_bound}, "
+        f"messages <= 9 t sqrt(t) = {msg_bound}."
+        "\nNo deadline arithmetic is used - takeovers fire purely on failure-"
+        "\ndetector suspicion, and soundness (never suspecting a live or cleanly"
+        "\nterminated process) preserves the one-active-process discipline."
+    )
+
+
+if __name__ == "__main__":
+    main()

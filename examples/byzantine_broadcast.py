@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Byzantine agreement from work protocols (Section 5).
+
+The general tries to inform senders 0..t of its value; the t+1 senders
+then treat "make sure process p knows the value" as the p-th unit of
+work and run a Do-All protocol on it.  Since at least one sender
+survives, every process is informed; the protocols' takeover discipline
+guarantees everyone ends up with the *same* value even when the general
+crashes mid-broadcast (the classic hard case).
+
+Run:  python examples/byzantine_broadcast.py
+"""
+
+from repro.agreement.byzantine import ByzantineAgreement
+from repro.analysis.tables import render_table
+from repro.sim.adversary import FixedSchedule, RandomCrashes, compose
+from repro.sim.crashes import CrashDirective, CrashPhase
+
+
+def main() -> None:
+    n_system, t = 24, 7
+    value = 42
+    print(
+        f"Byzantine agreement: {n_system} processes, general value {value}, "
+        f"up to {t} crash failures, {t + 1} senders\n"
+    )
+
+    rows = []
+    for protocol in ["A", "B", "C"]:
+        # The nasty schedule: the general crashes mid-broadcast (an
+        # arbitrary subset of senders is informed), and more senders die
+        # at random points of the work protocol.
+        adversary = compose(
+            FixedSchedule(
+                [CrashDirective(pid=0, at_round=0, phase=CrashPhase.DURING_SEND)]
+            ),
+            RandomCrashes(t - 1, max_action_index=10, victims=list(range(1, t + 1))),
+        )
+        ba = ByzantineAgreement(n_system, t, protocol=protocol)
+        outcome = ba.run(value, adversary=adversary, seed=9)
+        decided = sorted(set(outcome.decisions.values()))
+        rows.append(
+            [
+                protocol,
+                outcome.metrics.messages_total,
+                len(outcome.decisions),
+                "yes" if outcome.agreement else "NO",
+                decided[0] if len(decided) == 1 else decided,
+            ]
+        )
+        assert outcome.agreement, f"agreement violated via protocol {protocol}"
+
+    print(
+        render_table(
+            ["work protocol", "messages", "deciders", "agreement", "decided value"],
+            rows,
+        )
+    )
+    print(
+        "\nWith the general dead mid-broadcast, validity places no constraint -"
+        "\nbut all surviving processes still decide the *same* value.  Note the"
+        "\npiggybacking rules: A and B must NOT carry the value in checkpoints,"
+        "\nwhile C MUST carry it in its ordinary messages (Section 5's proof"
+        "\nbreaks in both directions otherwise).  Via Protocol C this is an"
+        "\nO(n + t log t)-message agreement protocol, beating Bracha's"
+        "\nnonconstructive O(n + t^1.5) bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

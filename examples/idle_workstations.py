@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Idle-workstation batch farm: Protocol D under machine reclamation.
+
+The introduction's LAN scenario: batch jobs are distributed among idle
+workstations, and a "failure" is a user reclaiming her machine.  Time
+matters here (jobs should finish fast while machines are idle), so this
+is Protocol D territory: work in parallel, agree on progress, and - if a
+whole lab's worth of machines is reclaimed at once - fall back to the
+sequential checkpointing protocol among whoever is left.
+
+The example runs three mornings:
+  * a quiet one (nobody reclaims),
+  * a normal one (a few machines reclaimed mid-phase),
+  * a rush morning (most machines reclaimed at 9am sharp -> reversion).
+
+Run:  python examples/idle_workstations.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.core.registry import run_protocol
+from repro.sim.actions import MessageKind
+from repro.sim.adversary import StaggeredWorkKills
+from repro.work.workloads import idle_workstation_jobs
+
+
+def morning(label, n, t, adversary, seed):
+    result = run_protocol("D", n, t, adversary=adversary, seed=seed)
+    metrics = result.metrics
+    reverted = (
+        metrics.messages_of(MessageKind.PARTIAL_CHECKPOINT)
+        + metrics.messages_of(MessageKind.FULL_CHECKPOINT)
+    ) > 0
+    return [
+        label,
+        metrics.crashes,
+        metrics.work_total,
+        metrics.messages_total,
+        metrics.retire_round + 1,
+        "yes" if reverted else "no",
+        "yes" if result.completed else "NO",
+    ]
+
+
+def main() -> None:
+    n_jobs, t_machines = 120, 12
+    spec = idle_workstation_jobs(n_jobs)
+    print(
+        f"Scenario: {spec.name} - {n_jobs} batch jobs over {t_machines} idle "
+        f"workstations (Protocol D)\n"
+    )
+
+    rows = [
+        morning("quiet morning", n_jobs, t_machines, None, 1),
+        morning(
+            "normal morning (3 reclaimed)",
+            n_jobs,
+            t_machines,
+            StaggeredWorkKills.plan([(2, 3), (5, 6), (9, 2)]),
+            2,
+        ),
+        morning(
+            "rush morning (8 reclaimed at once)",
+            n_jobs,
+            t_machines,
+            StaggeredWorkKills.plan([(pid, 1) for pid in range(8)]),
+            3,
+        ),
+    ]
+    print(
+        render_table(
+            ["morning", "reclaimed", "jobs run", "messages", "rounds",
+             "reverted to Protocol A", "all jobs done"],
+            rows,
+        )
+    )
+    print(
+        "\nQuiet mornings finish in n/t + 2 rounds with every job run exactly"
+        "\nonce.  Losing a few machines costs one extra work phase per failure"
+        "\nwave.  When more than half the machines vanish inside one phase, the"
+        "\nsurvivors abandon phasing and finish the backlog with the sequential"
+        "\ncheckpointing protocol (Theorem 4.1(2))."
+    )
+
+
+if __name__ == "__main__":
+    main()

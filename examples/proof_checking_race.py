@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Effort/time trade-off study on a proof-checking workload.
+
+A 600-step formal proof must be re-verified by a pool of 25 machines
+that fail at varying rates.  The four protocols sit at different points
+of the paper's message/work/time trade-off; this example sweeps the
+failure count and shows where each protocol's regime begins:
+
+* few failures  -> Protocol D wins on time (n/t + O(f) rounds);
+* effort-bound  -> Protocols A/B win on messages-vs-time balance;
+* message-bound -> Protocol C wins outright (O(n + t log t) messages)
+  if you can tolerate its (simulated) exponential round counts.
+
+Run:  python examples/proof_checking_race.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.core.registry import run_protocol
+from repro.sim.adversary import RandomCrashes
+from repro.work.workloads import proof_checking
+
+
+def main() -> None:
+    n, t = 600, 25
+    spec = proof_checking(n)
+    print(f"Scenario: {spec.name} - {n} proof steps over {t} checkers\n")
+
+    rows = []
+    for failures in [0, 4, 12, 24]:
+        for protocol in ["A", "B", "C", "D"]:
+            adversary = (
+                RandomCrashes(failures, max_action_index=30) if failures else None
+            )
+            result = run_protocol(protocol, n, t, adversary=adversary, seed=17)
+            metrics = result.metrics
+            rows.append(
+                [
+                    failures,
+                    protocol,
+                    metrics.work_total,
+                    metrics.messages_total,
+                    metrics.effort,
+                    float(metrics.retire_round),
+                    "yes" if result.completed else "NO",
+                ]
+            )
+        rows.append(["-"] * 7)
+    rows.pop()
+
+    print(
+        render_table(
+            ["failures", "protocol", "work", "messages", "effort", "rounds", "done"],
+            rows,
+        )
+    )
+    print(
+        "\nHow to read this: effort (work + messages) is nearly flat in the"
+        "\nfailure count for all four protocols - that is the paper's point."
+        "\nWhat varies is the *currency*: C pays time for messages, D pays"
+        "\nmessages for time, A/B sit between.  Pick by which resource your"
+        "\ndeployment actually bills."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: run each protocol on the same workload and compare.
+
+The Do-All problem: ``t`` crash-prone processes must perform ``n``
+idempotent units of work so that the work completes in every execution
+with at least one survivor.  This script runs the paper's four protocols
+and two straw-man baselines against the same adversary and prints the
+paper's three complexity measures (work, messages, rounds) plus effort.
+
+Run:  python examples/quickstart.py [n] [t]
+"""
+
+import sys
+
+from repro import run_protocol
+from repro.analysis.tables import render_table
+from repro.sim.adversary import RandomCrashes
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    t = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    failures = t // 2
+    print(f"Do-All: n={n} units, t={t} processes, {failures} random crashes\n")
+
+    rows = []
+    for protocol, options in [
+        ("replicate", {}),
+        ("naive", {"interval": 1}),
+        ("A", {}),
+        ("B", {}),
+        ("C", {}),
+        ("D", {}),
+    ]:
+        result = run_protocol(
+            protocol,
+            n,
+            t,
+            adversary=RandomCrashes(failures, max_action_index=20),
+            seed=42,
+            **options,
+        )
+        metrics = result.metrics
+        rows.append(
+            [
+                protocol,
+                metrics.work_total,
+                metrics.messages_total,
+                metrics.effort,
+                float(metrics.retire_round),
+                "yes" if result.completed else "NO",
+            ]
+        )
+
+    print(
+        render_table(
+            ["protocol", "work", "messages", "effort", "rounds", "completed"],
+            rows,
+        )
+    )
+    print(
+        "\nReading the table: the baselines burn Theta(t*n) effort (replicate in"
+        "\nwork, the naive checkpointer in messages); Protocols A/B spend"
+        "\nO(n + t^1.5) effort; C gets messages down to O(n + t log t) at an"
+        "\nastronomical round count (simulated via deadline fast-forward); and D"
+        "\nfinishes in ~n/t rounds by working in parallel, paying in messages."
+    )
+
+
+if __name__ == "__main__":
+    main()

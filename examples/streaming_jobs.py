@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Dynamic workload: jobs stream into different sites over time.
+
+The paper's static model assumes the work pool is common knowledge at
+round 0.  Its Section 4 remark (and U.S. Patent 5,513,354) sketches the
+realistic variant: work arrives continuously at individual sites, and
+agreement runs periodically to spread both the *existence* of new jobs
+and the *completion* of old ones.  This example streams 60 jobs into an
+8-site system while sites fail, and verifies the deliverable guarantee:
+every job that arrived at a site that never crashed gets done.
+
+Run:  python examples/streaming_jobs.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.core.protocol_d_dynamic import build_dynamic_protocol_d, uniform_arrivals
+from repro.sim.adversary import StaggeredWorkKills
+from repro.sim.engine import Engine
+from repro.work.tracker import WorkTracker
+
+
+def run_day(label, adversary, seed):
+    n_jobs, t_sites = 60, 8
+    schedule = uniform_arrivals(n_jobs, t_sites, every=3)
+    processes = build_dynamic_protocol_d(t_sites, schedule, cycle_length=14)
+    tracker = WorkTracker(n_jobs)
+    engine = Engine(processes, tracker=tracker, adversary=adversary, seed=seed)
+    result = engine.run()
+
+    crashed = {p.pid for p in processes if p.crashed}
+    deliverable = {
+        unit for _, site, unit in schedule.arrivals if site not in crashed
+    }
+    missing = set(tracker.missing_units())
+    lost_with_site = sorted(missing - deliverable)
+    assert not (deliverable & missing), "a deliverable job was dropped!"
+    return [
+        label,
+        len(crashed),
+        tracker.total_executions(),
+        len(missing),
+        len(lost_with_site),
+        result.metrics.messages_total,
+        result.metrics.retire_round,
+    ]
+
+
+def main() -> None:
+    print("Streaming Do-All: 60 jobs arriving over time at 8 sites\n")
+    rows = [
+        run_day("calm day", None, 1),
+        run_day("one site dies", StaggeredWorkKills.plan([(3, 2)]), 2),
+        run_day(
+            "three sites die",
+            StaggeredWorkKills.plan([(1, 1), (4, 3), (6, 2)]),
+            3,
+        ),
+    ]
+    print(
+        render_table(
+            [
+                "day", "crashed sites", "executions", "jobs not done",
+                "of which died with their site", "messages", "rounds",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nJobs can only be lost together with the *only* site that ever knew"
+        "\nabout them (it crashed before the next agreement cycle) - the exact"
+        "\nanalogue of the static model's process-crashing-before-reporting."
+        "\nEverything a surviving site ever learned about gets done."
+    )
+
+
+if __name__ == "__main__":
+    main()

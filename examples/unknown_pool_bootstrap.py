@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Work that is not common knowledge: the Section 1 bootstrap.
+
+Throughout the paper the pool of work is assumed common knowledge at
+round 0.  Section 1 lifts that: "if even one process knows about this
+work, then it can act as a general, run Byzantine agreement on the pool
+of work using one of the three algorithms, and then the actual work is
+performed by running the same algorithm a second time" - at most
+doubling the cost when n = Omega(t).
+
+This example gives only process 0 the job list (40 database ranges to
+scan), runs the two stages over Protocol B, and prints the per-stage
+costs - including the run where the only knower crashes halfway through
+announcing the pool.
+
+Run:  python examples/unknown_pool_bootstrap.py
+"""
+
+from repro.agreement.bootstrap import run_with_unknown_pool
+from repro.analysis.tables import render_table
+from repro.sim.adversary import FixedSchedule, RandomCrashes
+from repro.sim.crashes import CrashDirective, CrashPhase
+from repro.work.workloads import database_scan
+
+
+def main() -> None:
+    t = 8
+    spec = database_scan(40)
+    pool = range(1, spec.n + 1)
+    print(
+        f"Scenario: {spec.name} - only process 0 knows the {spec.n}-range job "
+        f"list; {t} processes total\n"
+    )
+
+    rows = []
+    for label, adv1, adv2, seed in [
+        ("all healthy", None, None, 1),
+        (
+            "crashes during both stages",
+            RandomCrashes(3, max_action_index=10, victims=list(range(1, 7))),
+            RandomCrashes(3, max_action_index=15),
+            2,
+        ),
+        (
+            "knower dies mid-announcement",
+            FixedSchedule(
+                [CrashDirective(pid=0, at_round=0, phase=CrashPhase.DURING_SEND)]
+            ),
+            None,
+            3,
+        ),
+    ]:
+        outcome = run_with_unknown_pool(
+            pool, t, protocol="B",
+            adversary_stage1=adv1, adversary_stage2=adv2, seed=seed,
+        )
+        pool_size = len(outcome.agreed_pool or ())
+        rows.append(
+            [
+                label,
+                "yes" if outcome.pool_agreement else "NO",
+                pool_size,
+                outcome.stage1_messages,
+                outcome.stage2_messages,
+                outcome.stage2_work,
+                "yes" if outcome.completed else "n/a",
+            ]
+        )
+
+    print(
+        render_table(
+            [
+                "run", "pool agreed", "agreed size", "stage-1 msgs",
+                "stage-2 msgs", "stage-2 work", "agreed work done",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nWhen the sole knower dies mid-announcement, the survivors still"
+        "\n*agree* - possibly on a partial or empty pool (validity only binds a"
+        "\ncorrect general), mirroring the static model: work nobody surviving"
+        "\nknows about cannot be guaranteed.  In all cases total cost stays"
+        "\nwithin about twice the single-stage cost, as Section 1 claims."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""The paper's motivating scenario: verify every reactor valve is closed.
+
+"In controlling a nuclear reactor it may be crucial for a set of valves
+to be closed before fuel is added. [...] we would like an algorithm that
+guarantees that the work will be performed as long as at least one
+process survives."
+
+This example drives Protocol B with a hostile adversary that repeatedly
+kills the controller that is currently doing the checking - right after
+it senses a valve but before it can report (the paper's worst case for
+redone work) - and narrates the takeover chain from the execution trace.
+
+Run:  python examples/valve_shutdown.py
+"""
+
+from repro.core.registry import run_protocol
+from repro.sim.adversary import KillActive
+from repro.sim.trace import Trace
+from repro.work.workloads import valve_shutdown
+
+
+def main() -> None:
+    n_valves, t_controllers = 48, 9
+    spec = valve_shutdown(n_valves)
+    print(f"Scenario: {spec.name} - {n_valves} valves, {t_controllers} controllers")
+    print(f"example unit: {spec.describe_unit(7)!r}\n")
+
+    trace = Trace(enabled=True)
+    adversary = KillActive(t_controllers - 1, actions_before_kill=8)
+    result = run_protocol(
+        "B",
+        n_valves,
+        t_controllers,
+        adversary=adversary,
+        seed=11,
+        trace=trace,
+    )
+
+    print("Takeover chain (controller, takeover round):")
+    for round_number, pid in trace.activations():
+        print(f"  round {round_number:>5}: controller {pid} takes over as checker")
+    crashes = trace.of_kind("crash")
+    print(f"\n{len(crashes)} controllers were killed mid-task; despite that:")
+    metrics = result.metrics
+    assert result.completed, "valves were NOT all verified!"
+    print(f"  all {n_valves} valves verified closed      : {result.completed}")
+    print(f"  valve checks performed (with repeats)  : {metrics.work_total}")
+    print(f"  repeated checks (lost to crashes)      : {metrics.redundant_work()}")
+    print(f"  messages exchanged                     : {metrics.messages_total}")
+    print(f"  rounds until everyone stood down       : {metrics.retire_round}")
+    print(
+        f"\nPaper guarantee (Thm 2.8): work <= 3n = {3 * n_valves}, "
+        f"messages <= 10 t sqrt(t) = {10 * t_controllers * int(t_controllers ** 0.5)}, "
+        f"rounds <= 3n + 8t = {3 * n_valves + 8 * t_controllers} "
+        "(up to implementation slack)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+Kept so that ``pip install -e .`` works in offline environments without
+the ``wheel`` package (pip falls back to ``setup.py develop`` when no
+PEP 517 build backend is declared).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

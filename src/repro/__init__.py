@@ -1,0 +1,59 @@
+"""repro - a reproduction of Dwork, Halpern & Waarts,
+"Performing Work Efficiently in the Presence of Faults" (PODC 1992).
+
+The package implements the paper's Do-All problem end to end: the
+synchronous crash-failure simulator, Protocols A-D, the straw-man
+baselines, the asynchronous variant with a failure detector, the
+Byzantine-agreement application of Section 5, and an analysis harness
+that regenerates every quantitative claim of the paper.
+
+Quickstart::
+
+    from repro import run_protocol
+    from repro.sim.adversary import RandomCrashes
+
+    result = run_protocol("A", n=400, t=16, adversary=RandomCrashes(8), seed=1)
+    assert result.completed
+    print(result.summary())
+"""
+
+from repro.agreement.byzantine import AgreementOutcome, ByzantineAgreement
+from repro.analysis.verify import VerificationReport, verify_run
+from repro.core.registry import available_protocols, build_processes, run_protocol
+from repro.errors import (
+    AdversaryError,
+    BudgetExceeded,
+    ConfigurationError,
+    InvariantViolation,
+    ReproError,
+    SimulationStalled,
+)
+from repro.sim.engine import Adversary, Engine
+from repro.sim.metrics import Metrics, RunResult
+from repro.work.spec import WorkSpec
+from repro.work.tracker import WorkTracker
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Adversary",
+    "AdversaryError",
+    "AgreementOutcome",
+    "ByzantineAgreement",
+    "BudgetExceeded",
+    "ConfigurationError",
+    "Engine",
+    "InvariantViolation",
+    "Metrics",
+    "ReproError",
+    "RunResult",
+    "SimulationStalled",
+    "VerificationReport",
+    "WorkSpec",
+    "WorkTracker",
+    "verify_run",
+    "available_protocols",
+    "build_processes",
+    "run_protocol",
+    "__version__",
+]

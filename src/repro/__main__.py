@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro ...``
+
+Subcommands:
+
+* ``run`` - simulate one protocol execution and print its accounting::
+
+      python -m repro run B --n 256 --t 16 --crashes 8 --seed 7
+
+* ``compare`` - run several protocols on the same workload and print the
+  comparison table::
+
+      python -m repro compare --n 256 --t 16 --crashes 8
+
+* ``report`` - regenerate EXPERIMENTS.md (same as
+  ``python -m repro.analysis.report``)::
+
+      python -m repro report --quick
+
+* ``list`` - list registered protocols.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import render_table
+from repro.core.registry import available_protocols, run_protocol
+from repro.sim.adversary import KillActive, NoFailures, RandomCrashes
+
+
+def _make_adversary(args):
+    if getattr(args, "kill_active", 0):
+        return KillActive(args.kill_active, actions_before_kill=2)
+    if getattr(args, "crashes", 0):
+        return RandomCrashes(args.crashes, max_action_index=25)
+    return None
+
+
+def _cmd_run(args) -> int:
+    result = run_protocol(
+        args.protocol,
+        args.n,
+        args.t,
+        adversary=_make_adversary(args),
+        seed=args.seed,
+    )
+    rows = sorted(result.summary().items())
+    print(render_table(["measure", "value"], [[k, _fmt(v)] for k, v in rows]))
+    return 0 if result.completed else 1
+
+
+def _fmt(value):
+    if isinstance(value, dict):
+        return ", ".join(f"{k}={v}" for k, v in sorted(value.items())) or "-"
+    return value
+
+
+def _cmd_compare(args) -> int:
+    rows = []
+    failures = 0
+    for protocol in args.protocols:
+        result = run_protocol(
+            protocol,
+            args.n,
+            args.t,
+            adversary=_make_adversary(args),
+            seed=args.seed,
+        )
+        metrics = result.metrics
+        rows.append(
+            [
+                protocol,
+                metrics.work_total,
+                metrics.messages_total,
+                metrics.effort,
+                float(metrics.retire_round),
+                "yes" if result.completed else "NO",
+            ]
+        )
+        failures += 0 if result.completed else 1
+    print(
+        render_table(
+            ["protocol", "work", "messages", "effort", "rounds", "completed"], rows
+        )
+    )
+    return 0 if failures == 0 else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import main as report_main
+
+    forwarded = []
+    if args.quick:
+        forwarded.append("--quick")
+    if args.out:
+        forwarded.extend(["--out", args.out])
+    return report_main(forwarded)
+
+
+def _cmd_list(_args) -> int:
+    for name in available_protocols():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Do-All protocols from Dwork-Halpern-Waarts 1992"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--n", type=int, default=256, help="work units")
+        p.add_argument("--t", type=int, default=16, help="processes")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--crashes", type=int, default=0, help="random crash count"
+        )
+        p.add_argument(
+            "--kill-active",
+            type=int,
+            default=0,
+            help="kill-the-active-process budget (overrides --crashes)",
+        )
+
+    run_p = sub.add_parser("run", help="simulate one protocol execution")
+    run_p.add_argument("protocol", choices=[p for p in available_protocols()])
+    add_common(run_p)
+    run_p.set_defaults(func=_cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="compare protocols on one workload")
+    cmp_p.add_argument(
+        "--protocols",
+        nargs="+",
+        default=["replicate", "naive", "a", "b", "c", "d"],
+    )
+    add_common(cmp_p)
+    cmp_p.set_defaults(func=_cmd_compare)
+
+    rep_p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    rep_p.add_argument("--quick", action="store_true")
+    rep_p.add_argument("--out", default=None)
+    rep_p.set_defaults(func=_cmd_report)
+
+    list_p = sub.add_parser("list", help="list registered protocols")
+    list_p.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

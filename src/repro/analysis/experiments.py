@@ -1,0 +1,1045 @@
+"""The experiment registry: one runner per quantitative claim of the paper.
+
+Each experiment function reproduces one theorem/claim (see DESIGN.md's
+per-experiment index), returning paper-bound-vs-measured rows.  The
+benchmark files under ``benchmarks/`` each call one of these and assert
+the claim's *shape*; ``python -m repro.analysis.report`` runs them all
+and regenerates EXPERIMENTS.md.
+
+Every experiment takes ``quick``: True shrinks the sweep for use inside
+the test-suite, False is the full benchmark grid.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.agreement.byzantine import ByzantineAgreement
+from repro.analysis import bounds
+from repro.analysis.sweep import worst_case
+from repro.core.protocol_a_async import build_async_protocol_a
+from repro.core.registry import run_protocol
+from repro.sim.adversary import (
+    Cascade,
+    CrashMidBroadcast,
+    KillActive,
+    NoFailures,
+    RandomCrashes,
+    StaggeredWorkKills,
+)
+from repro.sim.async_engine import AsyncEngine
+from repro.sim.crashes import CrashDirective, CrashPhase
+from repro.sim.engine import Adversary
+from repro.work.tracker import WorkTracker
+
+
+@dataclass
+class ExperimentResult:
+    exp_id: str
+    title: str
+    claim: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    @property
+    def all_ok(self) -> bool:
+        return all(bool(row.get("ok", True)) for row in self.rows)
+
+
+def _standard_adversaries(t: int, *, heavy: bool = True) -> List[Callable]:
+    """The adversary battery used for worst-case aggregation."""
+    battery: List[Callable] = [
+        lambda: None,
+        lambda: RandomCrashes(max(1, t // 2), max_action_index=25),
+        lambda: KillActive(t - 1, actions_before_kill=2),
+        lambda: CrashMidBroadcast(list(range(min(t, 6)))),
+    ]
+    if heavy:
+        battery.append(lambda: KillActive(t - 1, actions_before_kill=1))
+    return battery
+
+
+# =====================================================================
+# E1 / E2 - Theorems 2.3 and 2.8 (Protocols A and B)
+# =====================================================================
+
+
+def _sequential_protocol_experiment(
+    protocol: str,
+    exp_id: str,
+    theorem: str,
+    work_bound,
+    message_bound,
+    round_bound,
+    quick: bool,
+) -> ExperimentResult:
+    shapes = [(16, 128), (36, 288)] if quick else [(16, 128), (36, 288), (64, 512), (100, 800)]
+    seeds = range(3) if quick else range(8)
+    rows = []
+    for t, n in shapes:
+        aggregate = worst_case(
+            protocol, n, t, _standard_adversaries(t), seeds
+        )
+        wb, mb, rb = work_bound(n, t), message_bound(n, t), round_bound(n, t)
+        rows.append(
+            {
+                "t": t,
+                "n": n,
+                "runs": aggregate.executions,
+                "work": aggregate.work,
+                "work bound": wb.value,
+                "messages": aggregate.messages,
+                "msg bound": mb.value,
+                "rounds": aggregate.rounds,
+                "round bound": rb.value,
+                "completed": aggregate.all_completed,
+                "ok": (
+                    aggregate.all_completed
+                    and wb.holds_for(aggregate.work)
+                    and mb.holds_for(aggregate.messages)
+                ),
+            }
+        )
+    return ExperimentResult(
+        exp_id=exp_id,
+        title=f"Protocol {protocol} worst-case effort ({theorem})",
+        claim=(
+            f"work <= {work_bound(1, 1).formula}, messages <= "
+            f"{message_bound(1, 1).formula}, retired by {round_bound(1, 1).formula}"
+        ),
+        columns=[
+            "t", "n", "runs", "work", "work bound", "messages", "msg bound",
+            "rounds", "round bound", "completed", "ok",
+        ],
+        rows=rows,
+        notes=(
+            "Worst case over the adversary battery (none / random / kill-active "
+            "/ crash-mid-broadcast) and seeds.  Round counts are measured under "
+            "the implementation's slack-extended deadlines; the round bound "
+            "column is the paper's formula."
+        ),
+    )
+
+
+def experiment_e1(quick: bool = False) -> ExperimentResult:
+    return _sequential_protocol_experiment(
+        "A", "E1", "Theorem 2.3",
+        bounds.protocol_a_work, bounds.protocol_a_messages, bounds.protocol_a_rounds,
+        quick,
+    )
+
+
+def experiment_e2(quick: bool = False) -> ExperimentResult:
+    return _sequential_protocol_experiment(
+        "B", "E2", "Theorem 2.8",
+        bounds.protocol_b_work, bounds.protocol_b_messages, bounds.protocol_b_rounds,
+        quick,
+    )
+
+
+# =====================================================================
+# E3 / E4 - Theorem 3.8 and Corollary 3.9 (Protocol C)
+# =====================================================================
+
+
+def experiment_e3(quick: bool = False) -> ExperimentResult:
+    shapes = [(8, 32)] if quick else [(8, 32), (16, 64), (32, 128)]
+    seeds = range(3) if quick else range(6)
+    rows = []
+    for t, n in shapes:
+        adversaries = [
+            lambda: None,
+            lambda: RandomCrashes(max(1, t // 2), max_action_index=20),
+            lambda: KillActive(t - 1, actions_before_kill=3),
+            lambda t=t: Cascade(
+                lead_units=max(1, t - 1),
+                redo_units=1,
+                initial_dead=list(range(t // 2 + 1, t)),
+            ),
+        ]
+        aggregate = worst_case("C", n, t, adversaries, seeds)
+        wb = bounds.protocol_c_work(n, t)
+        mb = bounds.protocol_c_messages(n, t)
+        rb = bounds.protocol_c_rounds(n, t)
+        rows.append(
+            {
+                "t": t,
+                "n": n,
+                "runs": aggregate.executions,
+                "work": aggregate.work,
+                "work bound": wb.value,
+                "messages": aggregate.messages,
+                "msg bound": mb.value,
+                "rounds": float(aggregate.rounds),
+                "round bound": rb.value,
+                "completed": aggregate.all_completed,
+                "ok": (
+                    aggregate.all_completed
+                    and wb.holds_for(aggregate.work)
+                    and mb.holds_for(aggregate.messages)
+                    and rb.holds_for(float(aggregate.rounds))
+                ),
+            }
+        )
+    return ExperimentResult(
+        exp_id="E3",
+        title="Protocol C worst-case effort (Theorem 3.8)",
+        claim="work <= n + 2t, messages <= n + 8 t log t, retired by t K (n+t) 2^(n+t)",
+        columns=[
+            "t", "n", "runs", "work", "work bound", "messages", "msg bound",
+            "rounds", "round bound", "completed", "ok",
+        ],
+        rows=rows,
+        notes=(
+            "Includes the Section 3 cascade adversary (leader does t-1 units "
+            "then dies; upper half pre-crashed) that forces Theta(t^2) effort "
+            "on the naive knowledge-spreading algorithm - Protocol C's fault "
+            "detection defeats it.  The exponential round counts are simulated "
+            "via deadline fast-forward."
+        ),
+    )
+
+
+def experiment_e4(quick: bool = False) -> ExperimentResult:
+    shapes = [(8, 128)] if quick else [(8, 128), (16, 256), (32, 512)]
+    seeds = range(2) if quick else range(5)
+    rows = []
+    for t, n in shapes:
+        adversaries = [
+            lambda: None,
+            lambda: RandomCrashes(max(1, t // 2), max_action_index=20),
+        ]
+        plain = worst_case("C", n, t, adversaries, seeds)
+        batched = worst_case("C-batched", n, t, adversaries, seeds)
+        mb = bounds.protocol_c_batched_messages(n, t)
+        wb = bounds.protocol_c_batched_work(n, t)
+        rows.append(
+            {
+                "t": t,
+                "n": n,
+                "plain msgs": plain.messages,
+                "batched msgs": batched.messages,
+                "batched bound": mb.value,
+                "batched work": batched.work,
+                "work bound": wb.value,
+                "completed": plain.all_completed and batched.all_completed,
+                "ok": (
+                    batched.all_completed
+                    and mb.holds_for(batched.messages)
+                    and wb.holds_for(batched.work)
+                    and batched.messages < plain.messages
+                ),
+            }
+        )
+    return ExperimentResult(
+        exp_id="E4",
+        title="Protocol C batched reporting (Corollary 3.9)",
+        claim="reporting every n/t units removes the n-term: O(t log t) messages, O(n + t) work",
+        columns=[
+            "t", "n", "plain msgs", "batched msgs", "batched bound",
+            "batched work", "work bound", "completed", "ok",
+        ],
+        rows=rows,
+        notes="n >> t so the n-term dominates plain Protocol C's message count.",
+    )
+
+
+# =====================================================================
+# E5 / E6 / E7 - Theorem 4.1 (Protocol D)
+# =====================================================================
+
+
+def _phase_kills(t: int, f: int) -> Adversary:
+    """Kill f processes, staggered across their work shares."""
+    pairs = [(pid, 1 + (pid % 3)) for pid in range(1, f + 1)]
+    return StaggeredWorkKills.plan(pairs)
+
+
+def experiment_e5(quick: bool = False) -> ExperimentResult:
+    t, n = (8, 64) if quick else (16, 256)
+    fs = [0, 1, 2, 3] if quick else [0, 1, 2, 4, 6, 8]
+    rows = []
+    for f in fs:
+        result = run_protocol("D", n, t, adversary=_phase_kills(t, f) if f else None, seed=3)
+        wb = bounds.protocol_d_work(n, t, f)
+        mb = bounds.protocol_d_messages(n, t, f)
+        rb = bounds.protocol_d_rounds(n, t, f)
+        metrics = result.metrics
+        rows.append(
+            {
+                "f": f,
+                "work": metrics.work_total,
+                "work bound": wb.value,
+                "messages": metrics.messages_total,
+                "msg bound": mb.value,
+                "rounds": metrics.retire_round + 1,
+                "round bound": rb.value,
+                "completed": result.completed,
+                "ok": (
+                    result.completed
+                    and wb.holds_for(metrics.work_total)
+                    and mb.holds_for(metrics.messages_total)
+                ),
+            }
+        )
+    return ExperimentResult(
+        exp_id="E5",
+        title=f"Protocol D vs failure count (Theorem 4.1.1), n={n}, t={t}",
+        claim="work <= 2n, messages <= (4f+2) t^2, retired by (f+1)n/t + 4f + 2",
+        columns=[
+            "f", "work", "work bound", "messages", "msg bound",
+            "rounds", "round bound", "completed", "ok",
+        ],
+        rows=rows,
+        notes="Kills staggered inside work phases so every agreement phase discovers failures.",
+    )
+
+
+def experiment_e6(quick: bool = False) -> ExperimentResult:
+    t, n = (8, 64) if quick else (16, 256)
+    f = t // 2 + 2  # more than half die in the first phase -> reversion
+    adversary = StaggeredWorkKills.plan([(pid, 1) for pid in range(f)])
+    result = run_protocol("D", n, t, adversary=adversary, seed=5)
+    reverted = any(
+        getattr(p, "reverted", False)
+        for p in []  # placeholder; checked via messages below
+    )
+    metrics = result.metrics
+    from repro.sim.actions import MessageKind
+
+    reverted = metrics.messages_of(MessageKind.PARTIAL_CHECKPOINT) > 0 or (
+        metrics.messages_of(MessageKind.FULL_CHECKPOINT) > 0
+    )
+    wb = bounds.protocol_d_reverted_work(n, t, f)
+    mb = bounds.protocol_d_reverted_messages(n, t, f)
+    rows = [
+        {
+            "f": f,
+            "reverted": reverted,
+            "work": metrics.work_total,
+            "work bound": wb.value,
+            "messages": metrics.messages_total,
+            "msg bound": mb.value,
+            "rounds": metrics.retire_round + 1,
+            "completed": result.completed,
+            "ok": (
+                result.completed
+                and reverted
+                and wb.holds_for(metrics.work_total)
+                and mb.holds_for(metrics.messages_total)
+            ),
+        }
+    ]
+    return ExperimentResult(
+        exp_id="E6",
+        title=f"Protocol D reversion path (Theorem 4.1.2), n={n}, t={t}",
+        claim="after >half failures in a phase: work <= 4n, messages <= (4f+2)t^2 + 9 t sqrt(t)/(2 sqrt 2)",
+        columns=[
+            "f", "reverted", "work", "work bound", "messages", "msg bound",
+            "rounds", "completed", "ok",
+        ],
+        rows=rows,
+        notes="Reversion detected by the presence of Protocol A checkpoint traffic.",
+    )
+
+
+def experiment_e7(quick: bool = False) -> ExperimentResult:
+    t, n = (8, 64) if quick else (16, 256)
+    rows = []
+    # Failure-free: exact counts.
+    result = run_protocol("D", n, t, seed=1)
+    metrics = result.metrics
+    rows.append(
+        {
+            "case": "f = 0",
+            "work": metrics.work_total,
+            "work claim": n,
+            "rounds": metrics.retire_round + 1,
+            "round claim": n // t + 2,
+            "messages": metrics.messages_total,
+            "msg claim": 2 * t * t,
+            "ok": (
+                metrics.work_total == n
+                and metrics.retire_round + 1 == n // t + 2
+                and metrics.messages_total <= 2 * t * t
+            ),
+        }
+    )
+    # One failure.
+    result = run_protocol(
+        "D", n, t, adversary=StaggeredWorkKills.plan([(2, 1)]), seed=2
+    )
+    metrics = result.metrics
+    round_claim = n // t + math.ceil(n / (t * (t - 1))) + 6
+    rows.append(
+        {
+            "case": "f = 1",
+            "work": metrics.work_total,
+            "work claim": n + n // t,
+            "rounds": metrics.retire_round + 1,
+            "round claim": round_claim,
+            "messages": metrics.messages_total,
+            "msg claim": 5 * t * t,
+            "ok": (
+                result.completed
+                and metrics.work_total <= n + n // t
+                and metrics.retire_round + 1 <= round_claim
+                and metrics.messages_total <= 5 * t * t
+            ),
+        }
+    )
+    return ExperimentResult(
+        exp_id="E7",
+        title=f"Protocol D common cases (Section 4 text), n={n}, t={t}",
+        claim="f=0: exactly n work, n/t+2 rounds, <= 2t^2 msgs; f=1: <= n + n/t work, <= n/t + ceil(n/(t(t-1))) + 6 rounds, <= 5t^2 msgs",
+        columns=[
+            "case", "work", "work claim", "rounds", "round claim",
+            "messages", "msg claim", "ok",
+        ],
+        rows=rows,
+    )
+
+
+# =====================================================================
+# E8 - the implicit Section 1 comparison table
+# =====================================================================
+
+
+def experiment_e8(quick: bool = False) -> ExperimentResult:
+    t, n = (16, 256) if quick else (25, 500)
+    seeds = range(2) if quick else range(4)
+    adversaries = [
+        lambda: None,
+        lambda: RandomCrashes(t // 2, max_action_index=20),
+        lambda: KillActive(t - 1, actions_before_kill=2),
+    ]
+    rows = []
+    for protocol, options in [
+        ("replicate", {}),
+        ("naive", {"interval": 1}),
+        ("A", {}),
+        ("B", {}),
+        ("C", {}),
+        ("D", {}),
+    ]:
+        aggregate = worst_case(protocol, n, t, adversaries, seeds, **options)
+        rows.append(
+            {
+                "protocol": protocol,
+                "work": aggregate.work,
+                "messages": aggregate.messages,
+                "effort": aggregate.effort,
+                "rounds": float(aggregate.rounds),
+                "completed": aggregate.all_completed,
+                "ok": aggregate.all_completed,
+            }
+        )
+    effort = {row["protocol"]: row["effort"] for row in rows}
+    shape_ok = (
+        effort["A"] < effort["replicate"]
+        and effort["B"] < effort["replicate"]
+        and effort["C"] < effort["naive"]
+        and effort["C"] < effort["replicate"]
+    )
+    for row in rows:
+        row["ok"] = bool(row["ok"]) and shape_ok
+    return ExperimentResult(
+        exp_id="E8",
+        title=f"Section 1 comparison: baselines vs Protocols A-D (n={n}, t={t})",
+        claim="straw-men cost Theta(tn) effort; A/B cost O(n + t sqrt t); C costs O(n + t log t); D trades messages for time",
+        columns=["protocol", "work", "messages", "effort", "rounds", "completed", "ok"],
+        rows=rows,
+        notes="Worst case over {none, random-t/2, kill-active} x seeds.",
+    )
+
+
+# =====================================================================
+# E9 - Section 2 motivation: single-level checkpoint frequency ablation
+# =====================================================================
+
+
+def _naive_row(n, t, interval, label, seeds):
+    from repro.sim.adversary import KillBeforeCheckpoint
+
+    work_target = bounds.protocol_a_work(n, t).value
+    msg_target = bounds.protocol_a_messages(n, t).value
+    aggregate = worst_case(
+        "naive", n, t, [lambda: KillBeforeCheckpoint(t - 1)], seeds, interval=interval
+    )
+    return {
+        "scheme": label,
+        "t": t,
+        "interval": interval,
+        "work": aggregate.work,
+        "messages": aggregate.messages,
+        "effort": aggregate.effort,
+        "work<=3n'": aggregate.work <= work_target,
+        "msgs<=9t^1.5": aggregate.messages <= msg_target,
+        "ok": aggregate.all_completed,
+    }
+
+
+def experiment_e9(quick: bool = False) -> ExperimentResult:
+    """Section 2's motivating tension, against the worst-case adversary
+    (kill the active process just before each checkpoint, losing a full
+    interval of work every time).
+
+    At moderate ``t`` the theorem's loose constants leave a numeric
+    window where a mid-range interval meets both concrete bounds, so the
+    headline assertions are: (a) the extremes fail their respective
+    bounds, (b) Protocol A's two-level scheme meets both *and* beats the
+    best single-level interval on effort.  At ``t = 361`` the window
+    provably closes even numerically - adjacent intervals straddle the
+    work/message constraint boundary and every interval fails at least
+    one bound - which the full (non-quick) run demonstrates.
+    """
+    from repro.sim.adversary import KillBeforeCheckpoint
+
+    t, n = (16, 256) if quick else (36, 1296)
+    seeds = range(1)
+    work_target = bounds.protocol_a_work(n, t).value
+    msg_target = bounds.protocol_a_messages(n, t).value
+    rows = []
+    intervals = [1, 4, 16, 64, n] if quick else [1, 6, 18, 36, 72, 216, n]
+    for interval in intervals:
+        rows.append(_naive_row(n, t, interval, f"naive t={t}", seeds))
+    a_aggregate = worst_case(
+        "A", n, t, [lambda: KillBeforeCheckpoint(t - 1)], seeds
+    )
+    rows.append(
+        {
+            "scheme": "A (2-level)",
+            "t": t,
+            "interval": "-",
+            "work": a_aggregate.work,
+            "messages": a_aggregate.messages,
+            "effort": a_aggregate.effort,
+            "work<=3n'": a_aggregate.work <= work_target,
+            "msgs<=9t^1.5": a_aggregate.messages <= msg_target,
+            "ok": a_aggregate.all_completed
+            and a_aggregate.work <= work_target
+            and a_aggregate.messages <= msg_target,
+        }
+    )
+    if not quick:
+        # The large-t instance where no interval can meet both bounds:
+        # intervals 7 and 8 straddle the constraint crossover.
+        big_t, big_n = 361, 1296
+        for interval in [1, 7, 8, big_n // 2]:
+            row = _naive_row(big_n, big_t, interval, f"naive t={big_t}", range(1))
+            row["ok"] = row["ok"] and not (row["work<=3n'"] and row["msgs<=9t^1.5"])
+            rows.append(row)
+    return ExperimentResult(
+        exp_id="E9",
+        title="Checkpoint-frequency ablation (Section 2 motivation)",
+        claim=(
+            "single-level checkpointing cannot combine O(n + t) work with "
+            "O(t sqrt t) messages once t is large (needs k >= ~t/2 checkpoints "
+            "for the work bound but k <= ~sqrt(t)-scale for the message bound); "
+            "Protocol A's two-level scheme achieves both"
+        ),
+        columns=[
+            "scheme", "t", "interval", "work", "messages", "effort",
+            "work<=3n'", "msgs<=9t^1.5", "ok",
+        ],
+        rows=rows,
+        notes=(
+            "Adversary: kill the active process on its first broadcast attempt "
+            "after each takeover (a full interval of work is lost per crash). "
+            "At t=361 every interval fails at least one bound - the paper's "
+            "asymptotic tension made concrete."
+        ),
+    )
+
+
+# =====================================================================
+# E10 - Section 5: Byzantine agreement
+# =====================================================================
+
+
+def experiment_e10(quick: bool = False) -> ExperimentResult:
+    configs = [(16, 5)] if quick else [(16, 5), (32, 7), (64, 7)]
+    seeds = range(3) if quick else range(6)
+    rows = []
+    for n_system, t in configs:
+        for protocol in ["A", "B", "C"]:
+            worst_msgs = 0
+            all_agree = True
+            all_valid = True
+            for seed in seeds:
+                ba = ByzantineAgreement(n_system, t, protocol=protocol)
+                adversary = RandomCrashes(
+                    t, max_action_index=12, victims=list(range(t + 1))
+                )
+                outcome = ba.run(7, adversary=adversary, seed=seed)
+                worst_msgs = max(worst_msgs, outcome.metrics.messages_total)
+                all_agree = all_agree and outcome.agreement
+                all_valid = all_valid and outcome.valid_for(7)
+            mb = bounds.byzantine_messages(n_system, t, protocol)
+            rows.append(
+                {
+                    "n": n_system,
+                    "t": t,
+                    "protocol": protocol,
+                    "messages": worst_msgs,
+                    "msg bound": mb.value,
+                    "agreement": all_agree,
+                    "validity": all_valid,
+                    "ok": all_agree and all_valid and mb.holds_for(worst_msgs),
+                }
+            )
+    return ExperimentResult(
+        exp_id="E10",
+        title="Byzantine agreement via work protocols (Section 5)",
+        claim=(
+            "via B: O(n + t sqrt t) messages in O(n) rounds (constructive Bracha "
+            "bound); via C: O(n + t log t) messages; agreement+validity always"
+        ),
+        columns=["n", "t", "protocol", "messages", "msg bound", "agreement", "validity", "ok"],
+        rows=rows,
+        notes="Adversary crashes up to t of the t+1 senders at random points, including mid-broadcast.",
+    )
+
+
+# =====================================================================
+# E11 - asynchronous Protocol A with failure detection
+# =====================================================================
+
+
+def experiment_e11(quick: bool = False) -> ExperimentResult:
+    shapes = [(16, 128)] if quick else [(16, 128), (36, 288)]
+    seeds = range(3) if quick else range(6)
+    rows = []
+    for t, n in shapes:
+        sync_aggregate = worst_case(
+            "A", n, t, [lambda: RandomCrashes(t // 2, max_action_index=25)], seeds
+        )
+        worst_work = 0
+        worst_msgs = 0
+        all_completed = True
+        for seed in seeds:
+            crash_times = {pid: 3.0 + 9.0 * pid for pid in range(1, t // 2 + 1)}
+            processes = build_async_protocol_a(n, t)
+            tracker = WorkTracker(n)
+            engine = AsyncEngine(
+                processes, tracker=tracker, seed=seed, crash_times=crash_times
+            )
+            result = engine.run()
+            worst_work = max(worst_work, result.metrics.work_total)
+            worst_msgs = max(worst_msgs, result.metrics.messages_total)
+            all_completed = all_completed and result.completed
+        wb = bounds.protocol_a_work(n, t)
+        mb = bounds.protocol_a_messages(n, t)
+        rows.append(
+            {
+                "t": t,
+                "n": n,
+                "async work": worst_work,
+                "async msgs": worst_msgs,
+                "sync work": sync_aggregate.work,
+                "sync msgs": sync_aggregate.messages,
+                "work bound": wb.value,
+                "msg bound": mb.value,
+                "completed": all_completed,
+                "ok": all_completed
+                and wb.holds_for(worst_work)
+                and mb.holds_for(worst_msgs),
+            }
+        )
+    return ExperimentResult(
+        exp_id="E11",
+        title="Asynchronous Protocol A with failure detection (Section 2.1 remark)",
+        claim="the same DoWork under a sound+complete failure detector keeps Theorem 2.3's effort profile without synchrony",
+        columns=[
+            "t", "n", "async work", "async msgs", "sync work", "sync msgs",
+            "work bound", "msg bound", "completed", "ok",
+        ],
+        rows=rows,
+    )
+
+
+# =====================================================================
+# E12 - reversion-threshold ablation (Section 4 remark)
+# =====================================================================
+
+
+def experiment_e12(quick: bool = False) -> ExperimentResult:
+    t, n = (8, 64) if quick else (16, 256)
+    f = t // 2 + 1
+    adversary_plan = [(pid, 1) for pid in range(f)]
+    rows = []
+    for threshold in [0.25, 0.5, 0.75]:
+        result = run_protocol(
+            "D",
+            n,
+            t,
+            adversary=StaggeredWorkKills.plan(adversary_plan),
+            seed=4,
+            revert_threshold=threshold,
+        )
+        from repro.sim.actions import MessageKind
+
+        metrics = result.metrics
+        reverted = (
+            metrics.messages_of(MessageKind.PARTIAL_CHECKPOINT)
+            + metrics.messages_of(MessageKind.FULL_CHECKPOINT)
+        ) > 0
+        rows.append(
+            {
+                "threshold": threshold,
+                "reverted": reverted,
+                "work": metrics.work_total,
+                "messages": metrics.messages_total,
+                "rounds": metrics.retire_round + 1,
+                "completed": result.completed,
+                "ok": result.completed,
+            }
+        )
+    return ExperimentResult(
+        exp_id="E12",
+        title=f"Protocol D reversion-threshold ablation (n={n}, t={t}, {f} first-phase kills)",
+        claim=(
+            "the paper's 'half' factor is arbitrary: threshold alpha keeps phased work "
+            "<= n/(1-alpha) but reverts more eagerly as alpha grows"
+        ),
+        columns=["threshold", "reverted", "work", "messages", "rounds", "completed", "ok"],
+        rows=rows,
+    )
+
+
+# =====================================================================
+# E13 - simulator scaling (fast-forward)
+# =====================================================================
+
+
+def experiment_e13(quick: bool = False) -> ExperimentResult:
+    shapes = [("A", 16, 512), ("C", 8, 32)] if quick else [
+        ("A", 64, 4096),
+        ("B", 64, 4096),
+        ("C", 16, 64),
+        ("D", 64, 4096),
+    ]
+    rows = []
+    for protocol, t, n in shapes:
+        start = time.perf_counter()
+        result = run_protocol(
+            protocol, n, t, adversary=RandomCrashes(t // 2, max_action_index=25), seed=1
+        )
+        elapsed = time.perf_counter() - start
+        metrics = result.metrics
+        rows.append(
+            {
+                "protocol": protocol,
+                "t": t,
+                "n": n,
+                "virtual rounds": float(metrics.retire_round),
+                "wall seconds": round(elapsed, 3),
+                "rounds/sec": float("inf")
+                if elapsed == 0
+                else float(metrics.retire_round) / elapsed,
+                "completed": result.completed,
+                "ok": result.completed,
+            }
+        )
+    return ExperimentResult(
+        exp_id="E13",
+        title="Simulator scaling: deadline fast-forward",
+        claim=(
+            "wall time scales with actions, not rounds: Protocol C's 2^(n+t)-round "
+            "deadline stretches are skipped in O(1)"
+        ),
+        columns=["protocol", "t", "n", "virtual rounds", "wall seconds", "rounds/sec", "completed", "ok"],
+        rows=rows,
+    )
+
+
+# =====================================================================
+# E17 - message-growth exponents (the complexity separation as a figure)
+# =====================================================================
+
+
+def experiment_e17(quick: bool = False) -> ExperimentResult:
+    """Fit message counts to ``t^p`` across a doubling-ish sweep of t
+    (with n = 4t) and check the paper's ordering of growth rates:
+    Protocol C (t log t) < Protocols A/B (t sqrt t) < Protocol D (t^2
+    per discovered failure, f growing with t here).  Measured worst-case
+    counts stay below each protocol's own bound pointwise; the fitted
+    exponents carry the asymptotic claim."""
+    from repro.analysis.scaling import fit_power_law
+
+    ts = [9, 16, 36] if quick else [9, 16, 36, 64]
+    seeds = range(1) if quick else range(2)
+    series: Dict[str, List[float]] = {}
+    rows = []
+    bound_fns = {
+        "A": bounds.protocol_a_messages,
+        "B": bounds.protocol_b_messages,
+        "C": bounds.protocol_c_messages,
+    }
+    for protocol in ["A", "B", "C", "D"]:
+        measured = []
+        for t in ts:
+            n = 4 * t
+            adversaries = [
+                lambda t=t: KillActive(t - 1, actions_before_kill=2),
+                lambda t=t: RandomCrashes(t // 2, max_action_index=20),
+            ]
+            aggregate = worst_case(protocol, n, t, adversaries, seeds)
+            measured.append(float(aggregate.messages))
+            if protocol in bound_fns and not bound_fns[protocol](
+                n, t
+            ).holds_for(aggregate.messages):
+                measured[-1] = float("nan")  # flagged below via ok
+        series[protocol] = measured
+        fit = fit_power_law([float(t) for t in ts], measured)
+        row = {"protocol": protocol, "fit p (msgs ~ t^p)": round(fit.exponent, 2)}
+        for t, value in zip(ts, measured):
+            row[f"t={t}"] = value
+        row["ok"] = True
+        rows.append(row)
+    exponents = {row["protocol"]: row["fit p (msgs ~ t^p)"] for row in rows}
+    shape_ok = (
+        exponents["C"] + 0.3 < exponents["A"]
+        and exponents["C"] + 0.3 < exponents["B"]
+        and exponents["A"] + 0.3 < exponents["D"]
+    )
+    for row in rows:
+        row["ok"] = shape_ok
+    return ExperimentResult(
+        exp_id="E17",
+        title="Message-growth exponents across protocols (n = 4t)",
+        claim=(
+            "growth ordering of message complexity: C (t log t) < A, B (t sqrt t) "
+            "< D (failure-dependent t^2)"
+        ),
+        columns=["protocol"] + [f"t={t}" for t in ts] + ["fit p (msgs ~ t^p)", "ok"],
+        rows=rows,
+        notes=(
+            "Worst case over kill-active and random-crash adversaries; power law "
+            "fitted in log-log space.  Absolute counts also stay below each "
+            "protocol's theorem bound pointwise."
+        ),
+    )
+
+
+# =====================================================================
+# E16 - Section 1.1: effort vs available processor steps
+# =====================================================================
+
+
+def experiment_e16(quick: bool = False) -> ExperimentResult:
+    """The paper's measure-choice argument made measurable.
+
+    Section 1.1 contrasts the paper's *effort* (charge only actual work
+    and messages) with Kanellakis-Shvartsman's *available processor
+    steps* (charge every non-faulty process every round).  The sequential
+    protocols are effort-frugal but keep t-1 processes idle for the whole
+    run, so their APS explodes (Protocol C's astronomically, thanks to
+    exponential deadlines); Protocol D, whose phases keep everyone busy,
+    is the only one whose APS tracks its effort.  De Prisco-Mayer-Yung
+    [8] later showed n^2 APS is unavoidable in message passing for t~n.
+    """
+    t, n = (8, 64) if quick else (16, 256)
+    f = t // 2
+    rows = []
+    for protocol in ["A", "B", "C", "D"]:
+        result = run_protocol(
+            protocol,
+            n,
+            t,
+            adversary=RandomCrashes(f, max_action_index=20),
+            seed=2,
+        )
+        metrics = result.metrics
+        aps = metrics.available_processor_steps
+        rows.append(
+            {
+                "protocol": protocol,
+                "effort": metrics.effort,
+                "APS": float(aps),
+                "APS / effort": float(aps) / max(1, metrics.effort),
+                "rounds": float(metrics.retire_round),
+                "completed": result.completed,
+                "ok": result.completed,
+            }
+        )
+    by_name = {row["protocol"]: row for row in rows}
+    shape_ok = (
+        by_name["D"]["APS"] < by_name["A"]["APS"]
+        and by_name["D"]["APS"] < by_name["C"]["APS"]
+        and by_name["C"]["APS"] > 10 * by_name["D"]["APS"]
+    )
+    for row in rows:
+        row["ok"] = bool(row["ok"]) and shape_ok
+    return ExperimentResult(
+        exp_id="E16",
+        title=f"Effort vs available processor steps (Section 1.1), n={n}, t={t}",
+        claim=(
+            "the sequential protocols are effort-optimal but idle-heavy: their "
+            "available-processor-steps cost dwarfs their effort, while Protocol "
+            "D's parallel phases keep APS within a small factor of effort"
+        ),
+        columns=["protocol", "effort", "APS", "APS / effort", "rounds", "completed", "ok"],
+        rows=rows,
+        notes="APS = sum over processes of (retirement round + 1), the [KS92] measure.",
+    )
+
+
+# =====================================================================
+# E15 - Section 3 motivation: the naive knowledge-spreader's Theta(t^2)
+# =====================================================================
+
+
+def experiment_e15(quick: bool = False) -> ExperimentResult:
+    from repro.analysis.scaling import fit_power_law
+
+    ts = [8, 16, 32] if quick else [8, 16, 32, 64]
+    naive_work: List[float] = []
+    c_work: List[float] = []
+    rows = []
+    for t in ts:
+        n = 2 * t
+        adversary = lambda t=t: Cascade(
+            lead_units=t - 1,
+            redo_units=t // 2,
+            initial_dead=list(range(t // 2 + 1, t)),
+        )
+        naive = worst_case("C-naive", n, t, [adversary], range(1))
+        full_c = worst_case("C", n, t, [adversary], range(1))
+        naive_work.append(float(naive.work))
+        c_work.append(float(full_c.work))
+        rows.append(
+            {
+                "t": t,
+                "n": n,
+                "naive work": naive.work,
+                "naive msgs": naive.messages,
+                "C work": full_c.work,
+                "C msgs": full_c.messages,
+                "C work bound": bounds.protocol_c_work(n, t).value,
+                "completed": naive.all_completed and full_c.all_completed,
+                "ok": full_c.all_completed
+                and naive.all_completed
+                and full_c.work <= bounds.protocol_c_work(n, t).value,
+            }
+        )
+    naive_fit = fit_power_law([float(t) for t in ts], naive_work)
+    c_fit = fit_power_law([float(t) for t in ts], c_work)
+    growth_ok = naive_fit.exponent > 1.6 and c_fit.exponent < 1.3
+    rows.append(
+        {
+            "t": "fit p (work ~ t^p)",
+            "n": "-",
+            "naive work": round(naive_fit.exponent, 2),
+            "naive msgs": "-",
+            "C work": round(c_fit.exponent, 2),
+            "C msgs": "-",
+            "C work bound": "-",
+            "completed": True,
+            "ok": growth_ok,
+        }
+    )
+    return ExperimentResult(
+        exp_id="E15",
+        title="Naive knowledge-spreading vs Protocol C (Section 3 motivation)",
+        claim=(
+            "without fault detection the naive most-knowledgeable-takes-over "
+            "algorithm does O(n + t^2) work and messages on the cascade schedule; "
+            "Protocol C's fault detection keeps it at n + 2t work"
+        ),
+        columns=[
+            "t", "n", "naive work", "naive msgs", "C work", "C msgs",
+            "C work bound", "completed", "ok",
+        ],
+        rows=rows,
+        notes=(
+            "Cascade: process 0 performs t-1 units then crashes unreported; the "
+            "top half of the pid space is dead from the start; each taker-over "
+            "is killed after redoing t/2 units.  The final row fits work ~ t^p: "
+            "the naive algorithm's exponent is ~2, Protocol C's ~1."
+        ),
+    )
+
+
+# =====================================================================
+# E14 - the Conclusions' weighted-effort remark
+# =====================================================================
+
+
+def experiment_e14(quick: bool = False) -> ExperimentResult:
+    from repro.analysis.effort import EffortModel, cheapest
+
+    t, n = (16, 256) if quick else (25, 500)
+    seeds = range(2) if quick else range(3)
+    adversaries = [
+        lambda: RandomCrashes(t // 2, max_action_index=20),
+        lambda: KillActive(t - 1, actions_before_kill=2),
+    ]
+    profiles: Dict[str, tuple] = {}
+    for protocol, options in [
+        ("replicate", {}),
+        ("A", {}),
+        ("B", {}),
+        ("C", {}),
+        ("D", {}),
+    ]:
+        aggregate = worst_case(protocol, n, t, adversaries, seeds, **options)
+        profiles[protocol] = (aggregate.work, aggregate.messages)
+    rows = []
+    winners = set()
+    for weight in [0.0, 0.1, 1.0, 10.0, 100.0]:
+        model = EffortModel(work_weight=1.0, message_weight=weight)
+        winner = cheapest(profiles, model)
+        winners.add(winner)
+        row = {"msg weight": weight, "winner": winner}
+        for name, (work, messages) in sorted(profiles.items()):
+            row[name] = model.effort_of(work, messages)
+        row["ok"] = True
+        rows.append(row)
+    for row in rows:
+        row["ok"] = len(winners) >= 2
+    return ExperimentResult(
+        exp_id="E14",
+        title=f"Weighted effort: who is optimal depends on the cost model (n={n}, t={t})",
+        claim=(
+            "the Conclusions' remark: weighting messages differently from work "
+            "changes which algorithm is optimal (free messages favour parallel D; "
+            "expensive messages favour silent replication; in between, C then A/B)"
+        ),
+        columns=["msg weight", "winner", "A", "B", "C", "D", "replicate", "ok"],
+        rows=rows,
+        notes="Worst-case (work, messages) profiles per protocol; weighted effort = work + w * messages.",
+    )
+
+
+REGISTRY: Dict[str, Callable[[bool], ExperimentResult]] = {
+    "E1": experiment_e1,
+    "E2": experiment_e2,
+    "E3": experiment_e3,
+    "E4": experiment_e4,
+    "E5": experiment_e5,
+    "E6": experiment_e6,
+    "E7": experiment_e7,
+    "E8": experiment_e8,
+    "E9": experiment_e9,
+    "E10": experiment_e10,
+    "E11": experiment_e11,
+    "E12": experiment_e12,
+    "E13": experiment_e13,
+    "E14": experiment_e14,
+    "E15": experiment_e15,
+    "E16": experiment_e16,
+    "E17": experiment_e17,
+}
+
+
+def run_experiment(exp_id: str, quick: bool = False) -> ExperimentResult:
+    return REGISTRY[exp_id](quick)
+
+
+def run_all(quick: bool = False) -> List[ExperimentResult]:
+    return [runner(quick) for runner in REGISTRY.values()]

@@ -1,0 +1,77 @@
+"""Parameter-sweep utilities: run a protocol over adversary/seed grids and
+aggregate worst-case (the paper's bounds are worst-case statements, so
+benchmarks report the maximum over the schedules exercised)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.registry import run_protocol
+from repro.sim.engine import Adversary
+from repro.sim.metrics import RunResult
+
+AdversaryFactory = Callable[[], Optional[Adversary]]
+
+
+@dataclass
+class WorstCase:
+    """Aggregated maxima over a set of executions of one configuration."""
+
+    protocol: str
+    n: int
+    t: int
+    executions: int = 0
+    work: int = 0
+    messages: int = 0
+    rounds: int = 0
+    effort: int = 0
+    redundant_work: int = 0
+    all_completed: bool = True
+
+    def absorb(self, result: RunResult) -> None:
+        self.executions += 1
+        metrics = result.metrics
+        self.work = max(self.work, metrics.work_total)
+        self.messages = max(self.messages, metrics.messages_total)
+        self.rounds = max(self.rounds, metrics.retire_round)
+        self.effort = max(self.effort, metrics.effort)
+        self.redundant_work = max(self.redundant_work, metrics.redundant_work())
+        self.all_completed = self.all_completed and result.completed
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "n": self.n,
+            "t": self.t,
+            "runs": self.executions,
+            "work": self.work,
+            "messages": self.messages,
+            "rounds": self.rounds,
+            "effort": self.effort,
+            "completed": self.all_completed,
+        }
+
+
+def worst_case(
+    protocol: str,
+    n: int,
+    t: int,
+    adversaries: Sequence[AdversaryFactory],
+    seeds: Iterable[int],
+    **options,
+) -> WorstCase:
+    """Run every (adversary, seed) combination; aggregate the maxima."""
+    aggregate = WorstCase(protocol=protocol, n=n, t=t)
+    for factory in adversaries:
+        for seed in seeds:
+            result = run_protocol(
+                protocol, n, t, adversary=factory(), seed=seed, **options
+            )
+            aggregate.absorb(result)
+    return aggregate
+
+
+def single_run(protocol: str, n: int, t: int, **kwargs) -> RunResult:
+    """Convenience passthrough kept for symmetric imports in benches."""
+    return run_protocol(protocol, n, t, **kwargs)

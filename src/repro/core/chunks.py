@@ -1,0 +1,81 @@
+"""Chunk / subchunk partition of the work pool (Protocols A and B).
+
+The paper divides the ``n`` units into ``sqrt(t)`` chunks of ``sqrt(t)``
+subchunks each, i.e. ``t`` subchunks of ``n/t`` units, assuming ``t | n``.
+General case: subchunk ``c`` (1-indexed, ``c in 1..t``) covers units
+``floor((c-1) n / t) + 1 .. floor(c n / t)``; subchunk sizes are then
+``floor(n/t)`` or ``ceil(n/t)`` and may be zero when ``n < t`` (an empty
+subchunk is still checkpointed, mirroring the paper's ``n' = max(n, t)``
+effort accounting).
+
+A *chunk boundary* is a subchunk index divisible by the group size, plus
+the final subchunk ``t`` (so the terminal full checkpoint always happens
+even when ``t`` is not a multiple of the group size).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+
+
+class SubchunkPlan:
+    """Mapping between subchunk indices and unit ranges."""
+
+    def __init__(self, n: int, t: int, group_size: int):
+        if n < 0:
+            raise ConfigurationError(f"n must be non-negative, got {n}")
+        if t < 1:
+            raise ConfigurationError(f"t must be positive, got {t}")
+        if group_size < 1:
+            raise ConfigurationError(f"group size must be positive, got {group_size}")
+        self.n = n
+        self.t = t
+        self.group_size = group_size
+        self.num_subchunks = t
+
+    def units_of(self, subchunk: int) -> List[int]:
+        """Units covered by 1-indexed ``subchunk`` (ascending, maybe empty)."""
+        self._check(subchunk)
+        low = ((subchunk - 1) * self.n) // self.t
+        high = (subchunk * self.n) // self.t
+        return list(range(low + 1, high + 1))
+
+    def last_unit_of(self, subchunk: int) -> int:
+        """Last unit covered by subchunks ``1..subchunk`` (0 if none)."""
+        self._check_or_zero(subchunk)
+        return (subchunk * self.n) // self.t
+
+    def is_chunk_boundary(self, subchunk: int) -> bool:
+        """Whether completing ``subchunk`` triggers a full checkpoint."""
+        self._check(subchunk)
+        return subchunk % self.group_size == 0 or subchunk == self.num_subchunks
+
+    def subchunk_size_bound(self) -> int:
+        """Upper bound on units per subchunk (``ceil(n/t)``)."""
+        return -(-self.n // self.t)
+
+    def boundaries(self) -> List[int]:
+        return [
+            c
+            for c in range(1, self.num_subchunks + 1)
+            if self.is_chunk_boundary(c)
+        ]
+
+    # ---- validation -------------------------------------------------------
+
+    def _check(self, subchunk: int) -> None:
+        if not 1 <= subchunk <= self.num_subchunks:
+            raise ConfigurationError(
+                f"subchunk {subchunk} outside 1..{self.num_subchunks}"
+            )
+
+    def _check_or_zero(self, subchunk: int) -> None:
+        if not 0 <= subchunk <= self.num_subchunks:
+            raise ConfigurationError(
+                f"subchunk {subchunk} outside 0..{self.num_subchunks}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SubchunkPlan(n={self.n}, t={self.t}, group_size={self.group_size})"

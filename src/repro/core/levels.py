@@ -1,0 +1,115 @@
+"""The binary group hierarchy of Protocol C (Section 3.1).
+
+Processing is divided into ``log t`` levels.  At level ``h``
+(``1 <= h <= log t``) the processes are partitioned into groups of size
+``2^{log t - h + 1}``: level ``log t`` has groups of two, level 1 is one
+group containing everyone.  Each process belongs to exactly one group
+per level; fault detection walks the levels from the smallest group
+(level ``log t``) down to level 1, and work performed on level ``h - 1``
+is reported into the level-``h`` group.
+
+The paper assumes ``t`` is a power of two; for general ``t`` we pad with
+*virtual* processes up to the next power of two.  Virtual processes never
+run: they appear in every real process's initial faulty set, so the
+cyclic successor function skips them and the reduced view (which counts
+only real faults) is unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+GroupKey = Tuple[int, int]  # (level, group index within level)
+
+
+class LevelStructure:
+    """Group hierarchy over ``t`` real processes, padded to ``T = 2^L``."""
+
+    def __init__(self, t: int):
+        if t < 1:
+            raise ConfigurationError(f"need at least one process, got t={t}")
+        self.t_real = t
+        T = 1
+        while T < t:
+            T *= 2
+        self.T = max(2, T)  # at least one level even for t == 1
+        self.num_levels = self.T.bit_length() - 1  # log2(T)
+
+    # ---- structure -------------------------------------------------------
+
+    @property
+    def virtual_pids(self) -> List[int]:
+        return list(range(self.t_real, self.T))
+
+    def group_size(self, level: int) -> int:
+        self._check_level(level)
+        return 1 << (self.num_levels - level + 1)
+
+    def num_groups(self, level: int) -> int:
+        return self.T // self.group_size(level)
+
+    def group_index(self, pid: int, level: int) -> int:
+        self._check_pid(pid)
+        return pid // self.group_size(level)
+
+    def key_of(self, pid: int, level: int) -> GroupKey:
+        """The paper's ``G^i_h`` as a hashable key."""
+        return (level, self.group_index(pid, level))
+
+    def members(self, key: GroupKey) -> List[int]:
+        level, index = key
+        size = self.group_size(level)
+        if not 0 <= index < self.num_groups(level):
+            raise ConfigurationError(f"no group {index} at level {level}")
+        start = index * size
+        return list(range(start, start + size))
+
+    def members_of(self, pid: int, level: int) -> List[int]:
+        return self.members(self.key_of(pid, level))
+
+    def all_keys(self) -> List[GroupKey]:
+        keys = []
+        for level in range(1, self.num_levels + 1):
+            keys.extend((level, index) for index in range(self.num_groups(level)))
+        return keys
+
+    # ---- validation --------------------------------------------------------
+
+    def _check_level(self, level: int) -> None:
+        if not 1 <= level <= self.num_levels:
+            raise ConfigurationError(
+                f"level {level} outside 1..{self.num_levels}"
+            )
+
+    def _check_pid(self, pid: int) -> None:
+        if not 0 <= pid < self.T:
+            raise ConfigurationError(f"pid {pid} outside 0..{self.T - 1}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LevelStructure(t_real={self.t_real}, T={self.T}, "
+            f"levels={self.num_levels})"
+        )
+
+
+def cyclic_successor(
+    members: List[int], last: int | None, excluded: set
+) -> int | None:
+    """Next eligible member after ``last`` in the group's cyclic order.
+
+    ``members`` must be ascending.  ``last is None`` means "never
+    informed": the first eligible member is returned, matching the
+    paper's initial pointer (the lowest-numbered process in ``G - {i}``).
+    Returns ``None`` when no member is eligible.
+    """
+    candidates = [member for member in members if member not in excluded]
+    if not candidates:
+        return None
+    if last is None:
+        return candidates[0]
+    for candidate in candidates:
+        if candidate > last:
+            return candidate
+    return candidates[0]

@@ -1,0 +1,287 @@
+"""Protocol D (Section 4): time-optimal via parallel work + agreement.
+
+The protocol alternates *work phases* and *agreement phases*.  In a work
+phase the outstanding units are split evenly (by rank) among the
+processes thought correct; everyone works its share, padding with idle
+rounds so all spend ``ceil(|S|/|T|)`` rounds.  The agreement phase is the
+early-stopping crash-tolerant exchange of [Dolev-Reischuk-Strong]: each
+round every process broadcasts ``(S, T, done)``; units reported done are
+intersected away, discovered-correct sets are unioned, silent processes
+are removed (after a one-round grace period in phases >= 2, since phases
+may start one round apart), and a process decides when its view of the
+live set is unchanged across two consecutive rounds - or immediately
+adopts the final view of a process that already decided.
+
+If more than half the processes thought correct at the start of a phase
+are discovered to have failed (threshold configurable - the paper notes
+any factor alpha works, at work cost ``n / (1 - alpha)``), the remaining
+processes abandon phasing and finish the outstanding units with
+Protocol A among themselves (the reversion path of Theorem 4.1(2)).
+
+Theorem 4.1(1): with ``f`` failures and no reversion, at most ``2n``
+work, at most ``(4f + 2) t^2`` messages, and all processes retire by
+round ``(f+1) n/t + 4f + 2``.  Failure-free: exactly ``n`` work,
+``n/t + 2`` rounds, at most ``2 t^2`` messages.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.protocol_a import ProtocolAProcess
+from repro.errors import ConfigurationError
+from repro.sim.actions import Action, Envelope, MessageKind, Send, broadcast
+from repro.sim.process import Process
+
+_WORK = "work"
+_AGREE = "agree"
+_REVERT = "revert"
+
+#: Agreement payload: (phase index, outstanding units, known-correct, done)
+AgreePayload = Tuple[int, FrozenSet[int], FrozenSet[int], bool]
+
+_INNER_KINDS = (MessageKind.PARTIAL_CHECKPOINT, MessageKind.FULL_CHECKPOINT)
+
+
+class ProtocolDProcess(Process):
+    """One process of Protocol D."""
+
+    def __init__(
+        self,
+        pid: int,
+        t: int,
+        n: int,
+        *,
+        revert_threshold: float = 0.5,
+        slack: int = 2,
+    ):
+        super().__init__(pid, t)
+        if n < 0:
+            raise ConfigurationError(f"n must be non-negative, got {n}")
+        if not 0.0 < revert_threshold <= 1.0:
+            raise ConfigurationError(
+                f"revert threshold must be in (0, 1], got {revert_threshold}"
+            )
+        self.n = n
+        self.revert_threshold = revert_threshold
+        self.slack = slack
+        self.S: Set[int] = set(range(1, n + 1))
+        self.T: Set[int] = set(range(t))
+        self.phase_index = 0
+        self.reverted = False
+        # Work-phase state.
+        self._share: List[int] = []
+        self._work_start = 0
+        self._work_done_count = 0
+        self._agree_entry = 0
+        # Agreement-phase state.
+        self._U: Set[int] = set()
+        self._u_snapshot: Set[int] = set()
+        self._round_var = 0
+        self._agree_done = False
+        self._T_prev: Set[int] = set(self.T)
+        self._buffer: List[Envelope] = []
+        # Reversion state.
+        self._inner: Optional[ProtocolAProcess] = None
+        self._revert_members: List[int] = []
+        self._revert_units: List[int] = []
+        self.state = _WORK
+        self._setup_work_phase(start_round=0)
+
+    # ---- work phases ------------------------------------------------------
+
+    def _setup_work_phase(self, start_round: int) -> None:
+        self.state = _WORK
+        self.phase_index += 1
+        self._T_prev = set(self.T)
+        members = sorted(self.T)
+        units = sorted(self.S)
+        per_process = math.ceil(len(units) / len(members)) if members else 0
+        try:
+            rank = members.index(self.pid)
+        except ValueError:  # not thought correct: cannot happen for a live
+            rank = None     # process in the crash model, but stay safe
+        if rank is None or per_process == 0:
+            self._share = []
+        else:
+            self._share = units[rank * per_process : (rank + 1) * per_process]
+        self._work_start = start_round
+        self._work_done_count = 0
+        self._agree_entry = start_round + per_process
+        # Line 8 of Figure 4: S := S \ S'.  Removing the share up front is
+        # equivalent: the share is fully performed before S is next used
+        # (at agreement), and a crashed process's S is never consulted.
+        self.S -= set(self._share)
+
+    # ---- scheduling ----------------------------------------------------------
+
+    def wake_round(self) -> Optional[int]:
+        if self.retired:
+            return None
+        if self.state == _REVERT:
+            assert self._inner is not None
+            return self._inner.wake_round()
+        if self.state == _WORK:
+            if self._work_done_count < len(self._share):
+                return self._work_start + self._work_done_count
+            return self._agree_entry
+        return 0  # agreement: act every round
+
+    # ---- round dispatch ---------------------------------------------------------
+
+    def on_round(self, round_number: int, inbox: List[Envelope]) -> Action:
+        if self.state == _REVERT:
+            return self._revert_round(round_number, inbox)
+        self._buffer.extend(
+            env
+            for env in inbox
+            if env.kind is MessageKind.AGREEMENT
+            and env.payload[0] >= self.phase_index
+        )
+        if self.state == _WORK:
+            if round_number < self._agree_entry:
+                return self._work_round(round_number)
+            return self._enter_agree(round_number)
+        return self._agree_round(round_number)
+
+    # ---- work rounds ---------------------------------------------------------
+
+    def _work_round(self, round_number: int) -> Action:
+        index = round_number - self._work_start
+        if index < len(self._share) and index == self._work_done_count:
+            self._work_done_count += 1
+            return Action(work=self._share[index])
+        return Action.idle()  # filler: wait ceil(|S|/|T|) - |S'| rounds
+
+    # ---- agreement rounds -------------------------------------------------------
+
+    def _enter_agree(self, round_number: int) -> Action:
+        self.state = _AGREE
+        self._U = set(self.T)
+        self.T = {self.pid}
+        self._agree_done = False
+        self._round_var = 1 if self.phase_index == 1 else 0
+        self._u_snapshot = set(self._U)
+        return Action(sends=self._agree_broadcast(done=False))
+
+    def _agree_broadcast(self, done: bool) -> List[Send]:
+        payload: AgreePayload = (
+            self.phase_index,
+            frozenset(self.S),
+            frozenset(self.T),
+            done,
+        )
+        recipients = [pid for pid in sorted(self._U) if pid != self.pid]
+        return broadcast(recipients, payload, MessageKind.AGREEMENT)
+
+    def _agree_round(self, round_number: int) -> Action:
+        received: Dict[int, AgreePayload] = {}
+        for envelope in sorted(self._buffer, key=lambda env: env.sent_round):
+            payload = envelope.payload
+            if payload[0] != self.phase_index:
+                continue
+            previous = received.get(envelope.src)
+            if previous is None or payload[3] or not previous[3]:
+                received[envelope.src] = payload
+        self._buffer.clear()
+
+        # Lines 8-10: fold in ongoing views.
+        for pid in sorted(self._u_snapshot - {self.pid}):
+            payload = received.get(pid)
+            if payload is not None and not payload[3]:
+                self.S &= payload[1]
+                self.T |= payload[2]
+        # Lines 11-14: adopt a decided view outright.
+        for pid in sorted(received):
+            payload = received[pid]
+            if payload[3]:
+                self.S = set(payload[1])
+                self.T = set(payload[2])
+                self._agree_done = True
+        # Lines 15-16: silent processes are faulty (after the grace round).
+        if self._round_var >= 1:
+            for pid in self._u_snapshot - {self.pid}:
+                if pid not in received:
+                    self._U.discard(pid)
+        # Lines 17-18: decide when the live set is stable.
+        if (
+            not self._agree_done
+            and self._round_var >= 1
+            and self._U == self._u_snapshot
+        ):
+            self._agree_done = True
+        self._round_var += 1
+
+        if self._agree_done:
+            sends = self._agree_broadcast(done=True)
+            return self._finish_phase(round_number, sends)
+        self._u_snapshot = set(self._U)
+        return Action(sends=self._agree_broadcast(done=False))
+
+    def _finish_phase(self, round_number: int, sends: List[Send]) -> Action:
+        threshold = self.revert_threshold * len(self._T_prev)
+        if self.S and len(self.T) < threshold:
+            self._enter_revert(round_number + 1)
+            return Action(sends=sends)
+        if not self.S:
+            return Action(sends=sends, halt=True)
+        self._setup_work_phase(start_round=round_number + 1)
+        return Action(sends=sends)
+
+    # ---- reversion to Protocol A ---------------------------------------------------
+
+    def _enter_revert(self, start_round: int) -> None:
+        self.state = _REVERT
+        self.reverted = True
+        self._revert_members = sorted(self.T)
+        self._revert_units = sorted(self.S)
+        rank = self._revert_members.index(self.pid)
+        # Extra slack absorbs the <=1 round skew between deciders.
+        self._inner = ProtocolAProcess(
+            rank,
+            len(self._revert_members),
+            len(self._revert_units),
+            epoch=start_round,
+            slack=self.slack + 4,
+        )
+
+    def _revert_round(self, round_number: int, inbox: List[Envelope]) -> Action:
+        assert self._inner is not None
+        rank_of = {pid: rank for rank, pid in enumerate(self._revert_members)}
+        translated = [
+            Envelope(
+                src=rank_of[env.src],
+                dst=rank_of[self.pid],
+                payload=env.payload,
+                kind=env.kind,
+                sent_round=env.sent_round,
+            )
+            for env in inbox
+            if env.kind in _INNER_KINDS and env.src in rank_of
+        ]
+        action = self._inner.on_round(round_number, translated)
+        work = (
+            self._revert_units[action.work - 1] if action.work is not None else None
+        )
+        sends = [
+            Send(self._revert_members[send.dst], send.payload, send.kind)
+            for send in action.sends
+        ]
+        return Action(work=work, sends=sends, halt=action.halt)
+
+
+def build_protocol_d(
+    n: int,
+    t: int,
+    *,
+    revert_threshold: float = 0.5,
+    slack: int = 2,
+) -> List[ProtocolDProcess]:
+    """Construct the full set of Protocol D processes."""
+    return [
+        ProtocolDProcess(
+            pid, t, n, revert_threshold=revert_threshold, slack=slack
+        )
+        for pid in range(t)
+    ]

@@ -1,0 +1,270 @@
+"""Dynamic-workload Protocol D (Section 4 remark; U.S. Patent 5,513,354).
+
+"It is not too hard to modify our last algorithm to deal with a more
+realistic scenario, where work is continually coming in to different
+sites of the system, and is not initially common knowledge.  [...]
+Essentially, the idea is to run Eventual Byzantine Agreement
+periodically (where the length of the period depends on the size of the
+work load)."
+
+This module implements that modification.  Work units *arrive* at
+individual sites over time (an arrival schedule maps rounds to
+(site, unit) pairs); nobody initially knows the whole pool.  Execution
+proceeds in fixed-length cycles aligned on global round numbers:
+
+* each cycle opens with an agreement sub-phase - the same early-stopping
+  exchange as Protocol D, except that views now carry (known units,
+  completed units, live set) and *known* units are unioned (new arrivals
+  propagate) while completed units are unioned and subtracted;
+* the rest of the cycle is a work sub-phase on the agreed outstanding
+  pool, split by rank among the agreed-live processes;
+* units assigned to a process that crashes mid-cycle simply remain
+  outstanding (its completion report never merges) and are reassigned in
+  the next cycle.
+
+Processes halt at the first cycle boundary where agreement shows no
+outstanding and no future arrivals remain (the arrival horizon is a
+simulation parameter - a real deployment would run forever).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.actions import Action, Envelope, MessageKind, Send, broadcast
+from repro.sim.process import Process
+
+Arrival = Tuple[int, int, int]  # (round, site pid, unit)
+
+_AGREE = "agree"
+_WORK = "work"
+
+
+class ArrivalSchedule:
+    """Immutable arrival plan shared by all processes of one run."""
+
+    def __init__(self, arrivals: Iterable[Arrival]):
+        self.arrivals: List[Arrival] = sorted(arrivals)
+        seen: Set[int] = set()
+        for _, _, unit in self.arrivals:
+            if unit in seen:
+                raise ConfigurationError(f"unit {unit} arrives twice")
+            seen.add(unit)
+        self.units: FrozenSet[int] = frozenset(seen)
+        self.horizon: int = max((rnd for rnd, _, _ in self.arrivals), default=0)
+
+    def at_site(self, pid: int) -> List[Tuple[int, int]]:
+        """(round, unit) pairs arriving at ``pid``."""
+        return [(rnd, unit) for rnd, site, unit in self.arrivals if site == pid]
+
+    @property
+    def total_units(self) -> int:
+        return len(self.units)
+
+
+class DynamicProtocolDProcess(Process):
+    """One site of the dynamic-workload variant."""
+
+    def __init__(
+        self,
+        pid: int,
+        t: int,
+        schedule: ArrivalSchedule,
+        *,
+        cycle_length: int = 16,
+    ):
+        super().__init__(pid, t)
+        if cycle_length < 4:
+            raise ConfigurationError(
+                f"cycle must fit an agreement exchange; got {cycle_length}"
+            )
+        self.schedule = schedule
+        self.cycle_length = cycle_length
+        self._pending_arrivals = sorted(schedule.at_site(pid))
+        self.known: Set[int] = set()
+        #: Arrivals observed since the current agreement began.  They are
+        #: folded into ``known`` only when the *next* agreement starts:
+        #: mid-agreement, ``known`` is shared protocol state (adopting a
+        #: decider's view replaces it), so a unit absorbed directly could
+        #: be silently erased - and this site may be its only knower.
+        self._arrived_buffer: Set[int] = set()
+        self.done: Set[int] = set()
+        self.live: Set[int] = set(range(t))
+        self.state = _AGREE
+        self._cycle_start = 0
+        self._first_cycle = True
+        # Agreement sub-state (pipelined exchange, as in Protocol D).
+        self._U: Set[int] = set(self.live)
+        self._u_snapshot: Set[int] = set()
+        self._round_var = 0
+        self._agree_done = False
+        self._broadcast_pending = True
+        # Work sub-state.
+        self._share: List[int] = []
+        self._share_index = 0
+
+    # ---- arrivals -----------------------------------------------------
+
+    def _absorb_arrivals(self, round_number: int) -> None:
+        while self._pending_arrivals and self._pending_arrivals[0][0] <= round_number:
+            _, unit = self._pending_arrivals.pop(0)
+            self._arrived_buffer.add(unit)
+
+    # ---- scheduling ------------------------------------------------------
+
+    def wake_round(self) -> Optional[int]:
+        if self.retired:
+            return None
+        if self.state == _AGREE:
+            return 0  # agreement acts every round
+        if self._share_index < len(self._share):
+            return 0
+        next_points = [self._cycle_start + self.cycle_length]
+        if self._pending_arrivals:
+            next_points.append(self._pending_arrivals[0][0])
+        return min(next_points)
+
+    # ---- round dispatch ----------------------------------------------------
+
+    def on_round(self, round_number: int, inbox: List[Envelope]) -> Action:
+        self._absorb_arrivals(round_number)
+        if self.state == _WORK and round_number >= self._cycle_start + self.cycle_length:
+            self._enter_agree(round_number)
+        if self.state == _AGREE:
+            return self._agree_round(round_number, inbox)
+        return self._work_round()
+
+    # ---- agreement sub-phase --------------------------------------------------
+
+    def _enter_agree(self, round_number: int) -> None:
+        self.state = _AGREE
+        self._cycle_start = round_number
+        self._U = set(self.live)
+        self.live = {self.pid}
+        self._agree_done = False
+        self._round_var = 1 if self._first_cycle else 0
+        self._first_cycle = False
+        self._broadcast_pending = True
+
+    def _payload(self, done_flag: bool) -> tuple:
+        return (
+            self._cycle_start,
+            frozenset(self.known),
+            frozenset(self.done),
+            frozenset(self.live),
+            done_flag,
+        )
+
+    def _agree_broadcast(self, done_flag: bool) -> List[Send]:
+        recipients = [pid for pid in sorted(self._U) if pid != self.pid]
+        return broadcast(recipients, self._payload(done_flag), MessageKind.AGREEMENT)
+
+    def _agree_round(self, round_number: int, inbox: List[Envelope]) -> Action:
+        if self._broadcast_pending:
+            # First round of the cycle's agreement: announce buffered
+            # arrivals, then broadcast.
+            self.known |= self._arrived_buffer
+            self._arrived_buffer.clear()
+            self._broadcast_pending = False
+            self._u_snapshot = set(self._U)
+            return Action(sends=self._agree_broadcast(False))
+        received: Dict[int, tuple] = {}
+        for envelope in sorted(inbox, key=lambda env: env.sent_round):
+            if envelope.kind is not MessageKind.AGREEMENT:
+                continue
+            payload = envelope.payload
+            if payload[0] != self._cycle_start:
+                continue  # a laggard's stale cycle; arrivals re-sync us
+            previous = received.get(envelope.src)
+            if previous is None or payload[4] or not previous[4]:
+                received[envelope.src] = payload
+        for pid in sorted(self._u_snapshot - {self.pid}):
+            payload = received.get(pid)
+            if payload is not None and not payload[4]:
+                self.known |= payload[1]
+                self.done |= payload[2]
+                self.live |= payload[3]
+        adopted = None
+        for pid in sorted(received):
+            payload = received[pid]
+            if payload[4]:
+                adopted = payload
+        if adopted is not None:
+            self.known = set(adopted[1])
+            self.done = set(adopted[2])
+            self.live = set(adopted[3])
+            self._agree_done = True
+        if self._round_var >= 1:
+            for pid in self._u_snapshot - {self.pid}:
+                if pid not in received:
+                    self._U.discard(pid)
+        if (
+            not self._agree_done
+            and self._round_var >= 1
+            and self._U == self._u_snapshot
+        ):
+            self._agree_done = True
+        self._round_var += 1
+        if self._agree_done:
+            sends = self._agree_broadcast(True)
+            return self._finish_agreement(round_number, sends)
+        self._u_snapshot = set(self._U)
+        return Action(sends=self._agree_broadcast(False))
+
+    def _finish_agreement(self, round_number: int, sends: List[Send]) -> Action:
+        outstanding = sorted(self.known - self.done)
+        no_more_arrivals = round_number >= self.schedule.horizon
+        if (
+            not outstanding
+            and no_more_arrivals
+            and not self._pending_arrivals
+            and not self._arrived_buffer
+        ):
+            return Action(sends=sends, halt=True)
+        members = sorted(self.live)
+        per_process = math.ceil(len(outstanding) / len(members)) if members else 0
+        try:
+            rank = members.index(self.pid)
+        except ValueError:
+            rank = None
+        if rank is None or per_process == 0:
+            self._share = []
+        else:
+            self._share = outstanding[rank * per_process : (rank + 1) * per_process]
+        self._share_index = 0
+        self.state = _WORK
+        return Action(sends=sends)
+
+    # ---- work sub-phase ----------------------------------------------------------
+
+    def _work_round(self) -> Action:
+        if self._share_index < len(self._share):
+            unit = self._share[self._share_index]
+            self._share_index += 1
+            self.done.add(unit)
+            return Action(work=unit)
+        return Action.idle()
+
+
+def build_dynamic_protocol_d(
+    t: int,
+    schedule: ArrivalSchedule,
+    *,
+    cycle_length: int = 16,
+) -> List[DynamicProtocolDProcess]:
+    return [
+        DynamicProtocolDProcess(pid, t, schedule, cycle_length=cycle_length)
+        for pid in range(t)
+    ]
+
+
+def uniform_arrivals(
+    n: int, t: int, *, every: int = 3, start: int = 0
+) -> ArrivalSchedule:
+    """A convenient schedule: unit ``u`` arrives at site ``u mod t`` at
+    round ``start + (u - 1) * every``."""
+    return ArrivalSchedule(
+        (start + (unit - 1) * every, (unit - 1) % t, unit) for unit in range(1, n + 1)
+    )

@@ -1,0 +1,133 @@
+"""Protocol registry and the one-call simulation runner.
+
+This is the main entry point of the library::
+
+    from repro import run_protocol
+    from repro.sim.adversary import RandomCrashes
+
+    result = run_protocol("B", n=200, t=16, adversary=RandomCrashes(5), seed=7)
+    print(result.metrics.work_total, result.metrics.messages_total)
+
+Names are case-insensitive.  Available protocols:
+
+================  ==============================================  ==========
+name              description                                     paper ref
+================  ==============================================  ==========
+``A``             checkpointing, effort O(n + t^1.5)              Section 2.1
+``B``             A + go-ahead polling, time O(n + t)             Section 2.3
+``C``             recursive fault detection, O(n + t log t) msgs  Section 3
+``C-batched``     C reporting every n/t units, O(t log t) msgs    Cor. 3.9
+``D``             parallel work + agreement phases, time-optimal  Section 4
+``replicate``     every process does everything                   Section 1
+``naive``         single worker, checkpoint-all every k units     Sections 1-2
+================  ==============================================  ==========
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Adversary, Engine
+from repro.sim.metrics import RunResult
+from repro.sim.process import Process
+from repro.sim.trace import Trace
+from repro.work.tracker import WorkTracker
+
+Builder = Callable[..., List[Process]]
+
+_BUILDERS: Dict[str, Builder] = {}
+#: Protocols for which the engine asserts the paper's at-most-one-active
+#: invariant on every round.
+_SINGLE_ACTIVE = {"a", "b", "c", "c-batched", "c-naive", "naive"}
+
+
+def register(name: str, builder: Builder) -> None:
+    """Register a protocol builder under ``name`` (case-insensitive)."""
+    _BUILDERS[name.lower()] = builder
+
+
+def available_protocols() -> List[str]:
+    return sorted(_BUILDERS)
+
+
+def build_processes(name: str, n: int, t: int, **options) -> List[Process]:
+    key = name.lower()
+    if key not in _BUILDERS:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; available: {', '.join(available_protocols())}"
+        )
+    return _BUILDERS[key](n, t, **options)
+
+
+def run_protocol(
+    name: str,
+    n: int,
+    t: int,
+    *,
+    adversary: Optional[Adversary] = None,
+    seed: int = 0,
+    strict_invariants: Optional[bool] = None,
+    allow_total_failure: bool = False,
+    max_steps: int = 5_000_000,
+    max_rounds: Optional[int] = None,
+    trace: Optional[Trace] = None,
+    unit_effect=None,
+    **options,
+) -> RunResult:
+    """Build, run and account one execution of ``name`` on ``n`` units and
+    ``t`` processes.  Returns a :class:`~repro.sim.metrics.RunResult`."""
+    processes = build_processes(name, n, t, **options)
+    tracker = WorkTracker(n)
+    if strict_invariants is None:
+        strict_invariants = name.lower() in _SINGLE_ACTIVE
+    engine = Engine(
+        processes,
+        tracker=tracker,
+        adversary=adversary,
+        seed=seed,
+        strict_invariants=strict_invariants,
+        allow_total_failure=allow_total_failure,
+        max_steps=max_steps,
+        max_rounds=max_rounds,
+        trace=trace,
+        unit_effect=unit_effect,
+    )
+    return engine.run()
+
+
+def _register_builtins() -> None:
+    from repro.core.baselines import build_naive_checkpoint, build_replicate
+    from repro.core.protocol_a import build_protocol_a
+
+    register("A", build_protocol_a)
+    register("replicate", build_replicate)
+    register("naive", build_naive_checkpoint)
+    try:
+        from repro.core.protocol_c_naive import build_naive_spreading
+
+        register("C-naive", build_naive_spreading)
+    except ImportError:  # pragma: no cover
+        pass
+    try:
+        from repro.core.protocol_b import build_protocol_b
+
+        register("B", build_protocol_b)
+    except ImportError:  # pragma: no cover - during incremental development
+        pass
+    try:
+        from repro.core.protocol_c import build_protocol_c, build_protocol_c_batched
+
+        register("C", build_protocol_c)
+        register("C-batched", build_protocol_c_batched)
+    except ImportError:  # pragma: no cover
+        pass
+    try:
+        from repro.core.protocol_d import build_protocol_d
+
+        register("D", build_protocol_d)
+    except ImportError:  # pragma: no cover
+        pass
+
+
+_register_builtins()

@@ -1,0 +1,106 @@
+"""Knowledge views for Protocol C (Section 3.1).
+
+A process's view is the triple ``(F_i, point_i, round_i)``: the set of
+processes it knows to be retired, and for every group the last process
+known to have been informed of (real or fault-detection) work, with the
+round of that report.  The *reduced view* is the scalar
+``point_i[G_0] - 1 + |F_i|``: units known done plus failures known -
+Protocol C's deadline schedule is keyed entirely on this number.
+
+Representation note: the paper stores ``point[G]`` as "the successor of
+the last informed process".  Because the successor function is relative
+to the holder (it skips the holder and the holder's faulty set), we
+instead store the *last informed process* itself and compute the
+successor at use time; the two are equivalent and this form merges
+cleanly (by report round) when views travel inside ordinary messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.core.levels import GroupKey
+
+
+@dataclass
+class View:
+    """The mutable knowledge state of one Protocol C process."""
+
+    faulty: Set[int] = field(default_factory=set)
+    #: group key -> (last informed pid, stamp round of that report)
+    last_informed: Dict[GroupKey, Tuple[int, int]] = field(default_factory=dict)
+    work_next: int = 1      # paper's point_i[G_0]: next unit to perform
+    work_round: int = 0     # paper's round_i[G_0]
+
+    # ---- snapshots -------------------------------------------------------
+
+    def copy(self) -> "View":
+        return View(
+            faulty=set(self.faulty),
+            last_informed=dict(self.last_informed),
+            work_next=self.work_next,
+            work_round=self.work_round,
+        )
+
+    # ---- merging -----------------------------------------------------------
+
+    def merge(self, other: "View") -> bool:
+        """Fold another view into this one; return whether anything changed.
+
+        The merge is the join of the knowledge lattice: union of faulty
+        sets, later report per group, and the further work pointer.
+        """
+        changed = False
+        new_faults = other.faulty - self.faulty
+        if new_faults:
+            self.faulty |= new_faults
+            changed = True
+        for key, entry in other.last_informed.items():
+            mine = self.last_informed.get(key)
+            if mine is None or entry[1] > mine[1] or (
+                entry[1] == mine[1] and entry[0] > mine[0]
+            ):
+                if mine != entry:
+                    self.last_informed[key] = entry
+                    changed = True
+        if other.work_next > self.work_next:
+            self.work_next = other.work_next
+            changed = True
+        if other.work_round > self.work_round:
+            self.work_round = other.work_round
+            changed = True
+        return changed
+
+    # ---- queries -------------------------------------------------------------
+
+    def reduced(self, real_t: int) -> int:
+        """The reduced view: units known done + *real* failures known.
+
+        Virtual padding processes (pids >= real_t) are excluded so the
+        deadline schedule matches the paper's range ``0..n+t-1``.
+        """
+        real_faults = sum(1 for pid in self.faulty if pid < real_t)
+        return self.work_next - 1 + real_faults
+
+    def knows_at_least(self, other: "View") -> bool:
+        """The paper's "knows more than (or exactly as much as)" order."""
+        if not other.faulty <= self.faulty:
+            return False
+        if other.work_round > self.work_round or other.work_next > self.work_next:
+            return False
+        for key, (_, other_round) in other.last_informed.items():
+            mine = self.last_informed.get(key)
+            if mine is None or mine[1] < other_round:
+                return False
+        return True
+
+    def record_report(self, key: GroupKey, target: int, stamp: int) -> None:
+        self.last_informed[key] = (target, stamp)
+
+    def last_informed_pid(self, key: GroupKey) -> Optional[int]:
+        entry = self.last_informed.get(key)
+        return entry[0] if entry else None
+
+    def add_faulty(self, pids: Iterable[int]) -> None:
+        self.faulty.update(pids)

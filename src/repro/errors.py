@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch package failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` and friends)
+propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A protocol or engine was constructed with inconsistent parameters."""
+
+
+class SimulationStalled(ReproError):
+    """No process has a pending message or a scheduled wake-up, yet at
+    least one live, unterminated process remains.
+
+    A stall always indicates a protocol implementation bug (a process
+    waiting for a message that can never arrive), never a legal execution:
+    in the paper's model every live process either acts, waits for a
+    concrete deadline, or has retired.
+    """
+
+
+class InvariantViolation(ReproError):
+    """A protocol invariant that the paper proves was observed to fail.
+
+    Raised only when the engine runs with ``strict_invariants=True``
+    (the default in the test-suite); the canonical example is two
+    simultaneously active processes in Protocols A, B or C.
+    """
+
+
+class BudgetExceeded(ReproError):
+    """The simulation exceeded its configured ``max_rounds`` safety cap."""
+
+
+class AdversaryError(ReproError):
+    """An adversary issued an illegal directive (e.g. crashing more than
+    ``t - 1`` processes when a survivor is required)."""

@@ -1,0 +1,100 @@
+"""Message and per-round action types for the synchronous simulator.
+
+The paper's model lets a process, in one time unit, perform one unit of
+work and one round of communication.  A round action therefore carries at
+most one work unit plus a batch of sends (the batch models one broadcast;
+a process that crashes mid-round delivers an adversary-chosen subset of
+the batch, which is exactly the paper's "if process 0 crashes in the
+middle of a broadcast, we assume only that some subset of the processes
+receive the message").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable, List, Optional, Tuple
+
+
+class MessageKind(str, Enum):
+    """Classification of messages for accounting and reporting.
+
+    Every kind is counted in the total message complexity; the split lets
+    the benchmark tables show *where* a protocol spends its messages
+    (e.g. Protocol C's poll traffic vs its ordinary reports).
+    """
+
+    PARTIAL_CHECKPOINT = "partial_checkpoint"  # Protocol A/B: (c) to own group
+    FULL_CHECKPOINT = "full_checkpoint"        # Protocol A/B: (c, g)
+    GO_AHEAD = "go_ahead"                      # Protocol B polling
+    POLL = "poll"                              # Protocol C "are you alive?"
+    POLL_REPLY = "poll_reply"                  # Protocol C liveness reply
+    ORDINARY = "ordinary"                      # Protocol C knowledge transfer
+    AGREEMENT = "agreement"                    # Protocol D phase broadcasts
+    VALUE = "value"                            # Byzantine agreement informs
+    CONTROL = "control"                        # anything else (baselines etc.)
+
+
+@dataclass(frozen=True)
+class Send:
+    """An outgoing message requested by a process in the current round."""
+
+    dst: int
+    payload: Any
+    kind: MessageKind = MessageKind.CONTROL
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight (or delivered).
+
+    ``sent_round`` is the stamp round: the envelope is visible to the
+    recipient's decisions strictly after ``sent_round``.
+    """
+
+    src: int
+    dst: int
+    payload: Any
+    kind: MessageKind
+    sent_round: int
+
+
+@dataclass
+class Action:
+    """Everything a process does in one round.
+
+    Attributes:
+        work: work unit performed this round (1-based), or ``None``.
+        sends: messages sent this round; modelled as one broadcast batch.
+        halt: if true the process terminates (retires) at the end of the
+            round, after its work and sends take effect.
+    """
+
+    work: Optional[int] = None
+    sends: List[Send] = field(default_factory=list)
+    halt: bool = False
+
+    @classmethod
+    def idle(cls) -> "Action":
+        """An action that does nothing (the process merely waits)."""
+        return cls()
+
+    @classmethod
+    def halting(cls, sends: Optional[Iterable[Send]] = None) -> "Action":
+        """Terminate, optionally after a final batch of sends."""
+        return cls(sends=list(sends or ()), halt=True)
+
+    def is_idle(self) -> bool:
+        return self.work is None and not self.sends and not self.halt
+
+
+def broadcast(
+    dsts: Iterable[int], payload: Any, kind: MessageKind
+) -> List[Send]:
+    """Build one broadcast batch: the same payload to every destination."""
+    return [Send(dst, payload, kind) for dst in dsts]
+
+
+def summarize_sends(sends: Iterable[Send]) -> Tuple[int, ...]:
+    """Destinations of a send batch, for traces and tests."""
+    return tuple(send.dst for send in sends)

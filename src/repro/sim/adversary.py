@@ -1,0 +1,346 @@
+"""Adversary strategies.
+
+The paper's theorems are worst-case statements over all crash patterns;
+its proofs motivate several concrete "hard" schedules.  This module
+implements those plus general-purpose scripted and randomised
+adversaries.  All adversaries are deterministic functions of their
+configuration and the engine's seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.actions import Action
+from repro.sim.crashes import CrashDirective, CrashPhase
+from repro.sim.engine import Adversary, Engine
+
+
+class NoFailures(Adversary):
+    """The failure-free execution (the paper's common case for Protocol D)."""
+
+
+class FixedSchedule(Adversary):
+    """Crash exactly the given directives, each at its scheduled round.
+
+    Directives whose round falls in a quiescent stretch are applied at the
+    victim's next action, which is observationally identical.
+    """
+
+    def __init__(self, directives: Iterable[CrashDirective]):
+        self.pending: List[CrashDirective] = sorted(
+            directives, key=lambda d: (d.at_round, d.pid)
+        )
+
+    def decide(
+        self, round_number: int, actions: Dict[int, Action], engine: Engine
+    ) -> List[CrashDirective]:
+        due = [d for d in self.pending if d.at_round <= round_number]
+        if due:
+            self.pending = [d for d in self.pending if d.at_round > round_number]
+        return due
+
+
+class RandomCrashes(Adversary):
+    """Crash ``count`` random victims at random action opportunities.
+
+    Each victim is assigned a countdown of *observed actions*: it crashes
+    on its ``k``-th action after the run starts (``k`` uniform in
+    ``1..max_action_index``), with a random crash phase.  Expressing the
+    schedule in actions rather than absolute rounds keeps the adversary
+    meaningful for protocols whose executions are mostly quiescent
+    (Protocol C) as well as for dense ones (Protocol D).
+    """
+
+    def __init__(
+        self,
+        count: int,
+        *,
+        max_action_index: int = 40,
+        phases: Sequence[CrashPhase] = tuple(CrashPhase),
+        victims: Optional[Sequence[int]] = None,
+    ):
+        if count < 0:
+            raise ConfigurationError("crash count must be non-negative")
+        self.count = count
+        self.max_action_index = max(1, max_action_index)
+        self.phases = tuple(phases)
+        self.explicit_victims = list(victims) if victims is not None else None
+        self._countdown: Dict[int, int] = {}
+        self._armed = False
+
+    def _arm(self, engine: Engine) -> None:
+        population = (
+            self.explicit_victims
+            if self.explicit_victims is not None
+            else list(range(engine.t))
+        )
+        budget = min(self.count, max(0, engine.t - 1), len(population))
+        victims = self.rng.sample(population, budget)
+        for victim in victims:
+            self._countdown[victim] = self.rng.randint(1, self.max_action_index)
+        self._armed = True
+
+    def decide(
+        self, round_number: int, actions: Dict[int, Action], engine: Engine
+    ) -> List[CrashDirective]:
+        if not self._armed:
+            self._arm(engine)
+        directives = []
+        for pid in list(actions):
+            if pid not in self._countdown:
+                continue
+            self._countdown[pid] -= 1
+            if self._countdown[pid] <= 0:
+                del self._countdown[pid]
+                directives.append(
+                    CrashDirective(
+                        pid=pid,
+                        at_round=round_number,
+                        phase=self.rng.choice(self.phases),
+                    )
+                )
+        return directives
+
+
+class KillActive(Adversary):
+    """Crash the active process after it performs a few actions.
+
+    This is the adversary implicit in the paper's redo accounting
+    (Theorem 2.3): each takeover forces the maximal amount of repeated
+    work and resent checkpoints.  ``actions_before_kill`` controls how
+    long each active process survives after taking over; ``budget`` is
+    the number of kills (at most ``t - 1``).
+    """
+
+    def __init__(
+        self,
+        budget: int,
+        *,
+        actions_before_kill: int = 1,
+        phase: CrashPhase = CrashPhase.AFTER_WORK,
+    ):
+        self.budget = budget
+        self.actions_before_kill = max(1, actions_before_kill)
+        self.phase = phase
+        self._current_victim: Optional[int] = None
+        self._seen_actions = 0
+
+    def decide(
+        self, round_number: int, actions: Dict[int, Action], engine: Engine
+    ) -> List[CrashDirective]:
+        if self.budget <= 0:
+            return []
+        active = [
+            p.pid
+            for p in engine.processes
+            if not p.retired and p.is_active and p.pid in actions
+        ]
+        if not active:
+            return []
+        pid = active[0]
+        if pid != self._current_victim:
+            self._current_victim = pid
+            self._seen_actions = 0
+        self._seen_actions += 1
+        if self._seen_actions < self.actions_before_kill:
+            return []
+        if sum(1 for p in engine.processes if p.crashed) >= engine.t - 1:
+            return []
+        self.budget -= 1
+        self._current_victim = None
+        return [CrashDirective(pid=pid, at_round=round_number, phase=self.phase)]
+
+
+class KillBeforeCheckpoint(Adversary):
+    """Crash the active process the moment it attempts a broadcast.
+
+    This is the worst case for checkpointing schemes: everything the
+    victim performed since its last successful checkpoint is lost (the
+    paper's "up to n/k units of work are lost when a process fails").
+    Against the single-level checkpointer each kill wastes a full
+    checkpoint interval; against Protocols A and B it exercises the
+    checkpoint-completion logic of the takeover dispatch.
+    """
+
+    def __init__(self, budget: int):
+        self.budget = budget
+
+    def decide(
+        self, round_number: int, actions: Dict[int, Action], engine: Engine
+    ) -> List[CrashDirective]:
+        if self.budget <= 0:
+            return []
+        directives = []
+        for pid, action in actions.items():
+            process = engine.processes[pid]
+            if not process.is_active or not action.sends:
+                continue
+            if sum(1 for p in engine.processes if p.crashed) >= engine.t - 1:
+                continue
+            if self.budget <= 0:
+                break
+            self.budget -= 1
+            directives.append(
+                CrashDirective(
+                    pid=pid, at_round=round_number, phase=CrashPhase.BEFORE_ACTION
+                )
+            )
+        return directives
+
+
+class Cascade(Adversary):
+    """The Section 3 lower-bound scenario for naive knowledge spreading.
+
+    Process 0 runs until it has performed ``lead_units`` units and then
+    crashes after its work but before reporting; the upper half of the
+    process space is dead from the start; thereafter every process that
+    becomes active is killed as soon as it has redone ``redo_units``
+    units.  Against the naive algorithm this forces ``Theta(t^2)`` work;
+    Protocol C's fault detection is designed to defeat exactly this.
+    """
+
+    def __init__(
+        self,
+        *,
+        lead_units: int,
+        redo_units: int = 1,
+        initial_dead: Sequence[int] = (),
+        budget: Optional[int] = None,
+    ):
+        self.lead_units = lead_units
+        self.redo_units = max(1, redo_units)
+        self.initial_dead = list(initial_dead)
+        self.budget = budget
+        self._did_initial = False
+        self._work_seen: Dict[int, int] = {}
+
+    def decide(
+        self, round_number: int, actions: Dict[int, Action], engine: Engine
+    ) -> List[CrashDirective]:
+        directives: List[CrashDirective] = []
+        if not self._did_initial:
+            self._did_initial = True
+            directives.extend(
+                CrashDirective(pid=pid, at_round=round_number)
+                for pid in self.initial_dead
+            )
+        for pid, action in actions.items():
+            if action.work is None:
+                continue
+            self._work_seen[pid] = self._work_seen.get(pid, 0) + 1
+            threshold = self.lead_units if pid == 0 else self.redo_units
+            if self._work_seen[pid] == threshold:
+                if self.budget is not None and self.budget <= 0:
+                    continue
+                if sum(1 for p in engine.processes if p.crashed) >= engine.t - 1:
+                    continue
+                if self.budget is not None:
+                    self.budget -= 1
+                directives.append(
+                    CrashDirective(
+                        pid=pid, at_round=round_number, phase=CrashPhase.AFTER_WORK
+                    )
+                )
+        return directives
+
+
+@dataclass
+class _StaggeredKill:
+    pid: int
+    after_work_units: int
+
+
+class StaggeredWorkKills(Adversary):
+    """Crash given victims after they have each performed a quota of units.
+
+    Used for Protocol D: killing ``k`` processes during each work phase
+    (after they have done part of their share) exercises the agreement
+    phase's failure discovery and the work-redistribution path.
+    """
+
+    def __init__(self, kills: Iterable[_StaggeredKill]):
+        self._quota: Dict[int, int] = {
+            kill.pid: kill.after_work_units for kill in kills
+        }
+        self._done: Dict[int, int] = {}
+
+    @classmethod
+    def plan(cls, pairs: Iterable[Sequence[int]]) -> "StaggeredWorkKills":
+        return cls(_StaggeredKill(pid, units) for pid, units in pairs)
+
+    def decide(
+        self, round_number: int, actions: Dict[int, Action], engine: Engine
+    ) -> List[CrashDirective]:
+        directives = []
+        for pid, action in actions.items():
+            if pid not in self._quota or action.work is None:
+                continue
+            self._done[pid] = self._done.get(pid, 0) + 1
+            if self._done[pid] >= self._quota[pid]:
+                del self._quota[pid]
+                if sum(1 for p in engine.processes if p.crashed) >= engine.t - 1:
+                    continue
+                directives.append(
+                    CrashDirective(
+                        pid=pid, at_round=round_number, phase=CrashPhase.AFTER_WORK
+                    )
+                )
+        return directives
+
+
+class CrashMidBroadcast(Adversary):
+    """Crash each victim the first time it sends a batch of at least
+    ``min_batch`` messages, delivering a random strict subset.
+
+    Exercises the paper's partial-broadcast semantics, the trickiest part
+    of the takeover logic in Protocols A and B.
+    """
+
+    def __init__(self, victims: Sequence[int], *, min_batch: int = 2):
+        self.victims = set(victims)
+        self.min_batch = min_batch
+
+    def decide(
+        self, round_number: int, actions: Dict[int, Action], engine: Engine
+    ) -> List[CrashDirective]:
+        directives = []
+        for pid, action in actions.items():
+            if pid in self.victims and len(action.sends) >= self.min_batch:
+                if sum(1 for p in engine.processes if p.crashed) >= engine.t - 1:
+                    continue
+                self.victims.discard(pid)
+                keep = frozenset(
+                    send.dst
+                    for send in action.sends
+                    if self.rng.random() < 0.5
+                )
+                directives.append(
+                    CrashDirective(
+                        pid=pid,
+                        at_round=round_number,
+                        phase=CrashPhase.DURING_SEND,
+                        keep=keep,
+                    )
+                )
+        return directives
+
+
+def compose(*adversaries: Adversary) -> Adversary:
+    """Run several adversaries side by side (union of their directives)."""
+
+    class _Composite(Adversary):
+        def bind(self, engine: Engine) -> None:
+            super().bind(engine)
+            for adversary in adversaries:
+                adversary.bind(engine)
+
+        def decide(self, round_number, actions, engine):
+            directives = []
+            for adversary in adversaries:
+                directives.extend(adversary.decide(round_number, actions, engine))
+            return directives
+
+    return _Composite()

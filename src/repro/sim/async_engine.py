@@ -1,0 +1,221 @@
+"""Event-driven asynchronous simulator.
+
+Used for the paper's remark (end of Section 2.1) that Protocol A needs
+no synchrony beyond failure detection: here there are no rounds, message
+delays are arbitrary (adversary- or distribution-controlled) but finite,
+and takeovers are triggered by a sound-and-complete failure detector
+rather than by deadlines.
+
+Processes are event handlers; the engine maintains a priority queue of
+timed events (message deliveries, self-scheduled wake-ups, crashes, and
+failure-detector suspicions) and runs until every process has retired.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import BudgetExceeded, SimulationStalled
+from repro.sim.actions import MessageKind
+from repro.sim.failure_detector import FailureDetector
+from repro.sim.metrics import Metrics, RunResult
+from repro.sim.rng import derive_rng, make_rng
+from repro.work.tracker import WorkTracker
+
+DelayModel = Callable[[random.Random, int, int], float]
+"""(rng, src, dst) -> message delay."""
+
+
+def uniform_delays(low: float = 0.5, high: float = 4.0) -> DelayModel:
+    def model(rng: random.Random, src: int, dst: int) -> float:
+        return rng.uniform(low, high)
+
+    return model
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    kind: str = field(compare=False)          # deliver | wake | crash | suspect
+    pid: int = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class AsyncContext:
+    """Handler-facing API: everything a process may do during an event."""
+
+    def __init__(self, engine: "AsyncEngine", pid: int):
+        self._engine = engine
+        self._pid = pid
+
+    @property
+    def now(self) -> float:
+        return self._engine.now
+
+    def send(self, dst: int, payload: Any, kind: MessageKind) -> None:
+        self._engine._send(self._pid, dst, payload, kind)
+
+    def perform(self, unit: int) -> None:
+        self._engine._perform(self._pid, unit)
+
+    def wake_in(self, delay: float, tag: Any = None) -> None:
+        self._engine._schedule(delay, "wake", self._pid, tag)
+
+    def halt(self) -> None:
+        self._engine._halt(self._pid)
+
+
+class AsyncProcess(ABC):
+    """Base class for asynchronous event-driven processes."""
+
+    def __init__(self, pid: int, t: int):
+        self.pid = pid
+        self.t = t
+        self.crashed = False
+        self.halted = False
+
+    @property
+    def retired(self) -> bool:
+        return self.crashed or self.halted
+
+    def on_start(self, ctx: AsyncContext) -> None:
+        """Called once at time 0."""
+
+    @abstractmethod
+    def on_message(
+        self, ctx: AsyncContext, src: int, payload: Any, kind: MessageKind
+    ) -> None:
+        ...
+
+    def on_wake(self, ctx: AsyncContext, tag: Any) -> None:
+        """A self-scheduled timer fired."""
+
+    def on_suspect(self, ctx: AsyncContext, crashed_pid: int) -> None:
+        """The failure detector reports that ``crashed_pid`` has crashed."""
+
+
+class AsyncEngine:
+    """Priority-queue event loop with an oracle failure detector."""
+
+    def __init__(
+        self,
+        processes: Sequence[AsyncProcess],
+        *,
+        tracker: Optional[WorkTracker] = None,
+        seed: int = 0,
+        delay_model: Optional[DelayModel] = None,
+        failure_detector: Optional[FailureDetector] = None,
+        crash_times: Optional[Dict[int, float]] = None,
+        max_events: int = 2_000_000,
+    ):
+        self.processes: List[AsyncProcess] = list(processes)
+        self.t = len(self.processes)
+        self.tracker = tracker
+        self.rng = make_rng(seed)
+        self.delay_rng = derive_rng(self.rng, "delays")
+        self.fd_rng = derive_rng(self.rng, "failure-detector")
+        self.delay_model = delay_model or uniform_delays()
+        self.failure_detector = failure_detector or FailureDetector()
+        self.max_events = max_events
+        self.metrics = Metrics()
+        self.now = 0.0
+        self._heap: List[_Event] = []
+        self._seq = itertools.count()
+        for pid, crash_time in sorted((crash_times or {}).items()):
+            self._schedule_abs(crash_time, "crash", pid, None)
+
+    # ---- scheduling primitives ------------------------------------------------
+
+    def _schedule(self, delay: float, kind: str, pid: int, payload: Any) -> None:
+        self._schedule_abs(self.now + max(0.0, delay), kind, pid, payload)
+
+    def _schedule_abs(self, time: float, kind: str, pid: int, payload: Any) -> None:
+        heapq.heappush(self._heap, _Event(time, next(self._seq), kind, pid, payload))
+
+    def _send(self, src: int, dst: int, payload: Any, kind: MessageKind) -> None:
+        from repro.sim.actions import Envelope
+
+        envelope = Envelope(
+            src=src, dst=dst, payload=payload, kind=kind, sent_round=int(self.now)
+        )
+        self.metrics.record_send(envelope)
+        delay = max(0.0, self.delay_model(self.delay_rng, src, dst))
+        self._schedule(delay, "deliver", dst, (src, payload, kind))
+
+    def _perform(self, pid: int, unit: int) -> None:
+        if self.tracker is not None:
+            self.tracker.record(pid, unit, int(self.now))
+        self.metrics.record_work(pid, unit, int(self.now))
+
+    def _halt(self, pid: int) -> None:
+        process = self.processes[pid]
+        if not process.retired:
+            process.halted = True
+            self.metrics.record_retire(pid, int(self.now))
+
+    # ---- the event loop ----------------------------------------------------------
+
+    def run(self) -> RunResult:
+        for process in self.processes:
+            if not process.retired:
+                process.on_start(AsyncContext(self, process.pid))
+        events = 0
+        while self._heap and not self._all_retired():
+            event = heapq.heappop(self._heap)
+            self.now = max(self.now, event.time)
+            self._dispatch(event)
+            events += 1
+            if events > self.max_events:
+                raise BudgetExceeded(f"exceeded max_events={self.max_events}")
+        if not self._all_retired() and self._any_live():
+            raise SimulationStalled(
+                "event queue drained with live asynchronous processes remaining"
+            )
+        return self._result()
+
+    def _dispatch(self, event: _Event) -> None:
+        process = self.processes[event.pid]
+        if event.kind == "crash":
+            if not process.retired:
+                process.crashed = True
+                self.metrics.record_crash(event.pid, int(self.now))
+                for observer in self.processes:
+                    if observer.retired or observer.pid == event.pid:
+                        continue
+                    delay = self.failure_detector.notification_delay(
+                        self.fd_rng, observer.pid, event.pid
+                    )
+                    self._schedule(delay, "suspect", observer.pid, event.pid)
+            return
+        if process.retired:
+            return
+        ctx = AsyncContext(self, process.pid)
+        if event.kind == "deliver":
+            src, payload, kind = event.payload
+            process.on_message(ctx, src, payload, kind)
+        elif event.kind == "wake":
+            process.on_wake(ctx, event.payload)
+        elif event.kind == "suspect":
+            process.on_suspect(ctx, event.payload)
+
+    # ---- results ---------------------------------------------------------------------
+
+    def _all_retired(self) -> bool:
+        return all(p.retired for p in self.processes)
+
+    def _any_live(self) -> bool:
+        return any(not p.retired for p in self.processes)
+
+    def _result(self) -> RunResult:
+        survivors = sum(1 for p in self.processes if not p.crashed)
+        halted = sum(1 for p in self.processes if p.halted)
+        completed = self.tracker.all_done() if self.tracker is not None else True
+        return RunResult(
+            completed=completed, survivors=survivors, halted=halted, metrics=self.metrics
+        )

@@ -1,0 +1,82 @@
+"""Crash directives: when and how a process fails.
+
+The paper's crash model is fail-stop with one refinement that the
+protocols' analyses lean on heavily: a process may crash *during* a
+broadcast, in which case an arbitrary subset of the recipients receive
+the message.  A directive therefore specifies both the round of the crash
+and the phase within the round:
+
+* ``BEFORE_ACTION`` - the process does nothing this round (it may also
+  have been scheduled for an earlier, idle round; a late application is
+  observationally identical because an idle process emits nothing).
+* ``AFTER_WORK`` - the work unit of the round counts, no message leaves.
+  This realises "a process can fail immediately after performing a unit
+  of work, before reporting that unit to any other process", the scenario
+  behind the paper's `n + t - 1` work lower bound.
+* ``DURING_SEND`` - work counts and an adversary-chosen subset of the
+  round's send batch is delivered.
+* ``AFTER_ACTION`` - the whole round takes effect, then the process dies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import FrozenSet, List, Optional
+
+from repro.sim.actions import Action, Send
+from repro.sim.rng import choose_subset
+
+
+class CrashPhase(Enum):
+    BEFORE_ACTION = "before_action"
+    AFTER_WORK = "after_work"
+    DURING_SEND = "during_send"
+    AFTER_ACTION = "after_action"
+
+
+@dataclass(frozen=True)
+class CrashDirective:
+    """Instruction to crash one process.
+
+    Attributes:
+        pid: the victim.
+        at_round: first round at which the crash takes effect.  If the
+            victim is idle at ``at_round`` the crash applies before its
+            next action, which is observationally equivalent.
+        phase: where within the action round the crash lands.
+        keep: for ``DURING_SEND``: either an explicit frozenset of
+            destination pids whose copies are delivered, or ``None``
+            meaning "uniformly random subset" (size drawn by the engine).
+    """
+
+    pid: int
+    at_round: int
+    phase: CrashPhase = CrashPhase.BEFORE_ACTION
+    keep: Optional[FrozenSet[int]] = None
+
+    def censor(self, action: Action, rng: random.Random) -> Action:
+        """Return the part of ``action`` that survives this crash."""
+        if self.phase is CrashPhase.BEFORE_ACTION:
+            return Action.idle()
+        if self.phase is CrashPhase.AFTER_WORK:
+            return Action(work=action.work)
+        if self.phase is CrashPhase.DURING_SEND:
+            return Action(work=action.work, sends=self._surviving_sends(action.sends, rng))
+        # AFTER_ACTION: everything (including a halt, though a crash makes
+        # the halt moot - the process retires either way).
+        return action
+
+    def _surviving_sends(self, sends: List[Send], rng: random.Random) -> List[Send]:
+        if self.keep is not None:
+            return [send for send in sends if send.dst in self.keep]
+        if not sends:
+            return []
+        size = rng.randrange(len(sends) + 1)
+        return choose_subset(rng, sends, size)
+
+
+def immediate_crash(pid: int, at_round: int) -> CrashDirective:
+    """Shorthand for a clean fail-stop before the victim's next action."""
+    return CrashDirective(pid=pid, at_round=at_round, phase=CrashPhase.BEFORE_ACTION)

@@ -1,0 +1,308 @@
+"""Synchronous round engine with quiescence fast-forward.
+
+The engine realises the paper's timing model:
+
+* rounds are numbered 0, 1, 2, ...;
+* in round ``r`` a process may perform one unit of work and send one
+  batch of messages (one broadcast);
+* a message sent in round ``r`` is stamped ``r`` and becomes visible to
+  its recipient's decisions from round ``r + 1`` on;
+* a process that crashes mid-round delivers an adversary-chosen subset
+  of its batch.
+
+Fast-forward: the engine never iterates over rounds in which no process
+is due (has mail or a wake-up).  This matters enormously for Protocol C,
+whose timeout deadlines are ``Theta(K (n+t) 2^{n+t})`` rounds: the round
+counter is just a Python integer, so simulating an execution whose last
+retirement happens at round ~10^40 costs time proportional to the number
+of *actions*, not rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import (
+    AdversaryError,
+    BudgetExceeded,
+    InvariantViolation,
+    SimulationStalled,
+)
+from repro.sim.actions import Action, Envelope, MessageKind, Send
+from repro.sim.crashes import CrashDirective, CrashPhase
+from repro.sim.metrics import Metrics, RunResult
+from repro.sim.process import Process
+from repro.sim.rng import derive_rng, make_rng
+from repro.sim.trace import Trace
+from repro.work.tracker import WorkTracker
+
+UnitEffectFn = Callable[[int, int, int], List[Send]]
+
+
+class Engine:
+    """Drives a set of :class:`Process` instances to completion."""
+
+    def __init__(
+        self,
+        processes: Sequence[Process],
+        *,
+        tracker: Optional[WorkTracker] = None,
+        adversary: Optional["Adversary"] = None,
+        seed: int = 0,
+        max_steps: int = 5_000_000,
+        max_rounds: Optional[int] = None,
+        strict_invariants: bool = False,
+        allow_total_failure: bool = False,
+        unit_effect: Optional[UnitEffectFn] = None,
+        trace: Optional[Trace] = None,
+    ):
+        self.processes: List[Process] = list(processes)
+        self.t = len(self.processes)
+        self.tracker = tracker
+        self.adversary = adversary
+        self.rng = make_rng(seed)
+        self.crash_rng = derive_rng(self.rng, "crash-subsets")
+        self.max_steps = max_steps
+        self.max_rounds = max_rounds
+        self.strict_invariants = strict_invariants
+        self.allow_total_failure = allow_total_failure
+        self.unit_effect = unit_effect
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self.metrics = Metrics()
+        self.round = -1  # last processed round
+        self._mailboxes: Dict[int, List[Envelope]] = {p.pid: [] for p in self.processes}
+        if adversary is not None:
+            adversary.bind(self)
+
+    # ---- public API --------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Run until every process retires; return the outcome."""
+        steps = 0
+        while not self._all_retired():
+            next_round = self._next_due_round()
+            if next_round is None:
+                # Live processes remain but none will ever act again.
+                if self._any_live_unhalted():
+                    raise SimulationStalled(
+                        "live processes remain but nothing is scheduled: "
+                        + ", ".join(
+                            f"p{p.pid}({p.state_label()})"
+                            for p in self.processes
+                            if not p.retired
+                        )
+                    )
+                break
+            if self.max_rounds is not None and next_round > self.max_rounds:
+                raise BudgetExceeded(
+                    f"round {next_round} exceeds max_rounds={self.max_rounds}"
+                )
+            self._process_round(next_round)
+            steps += 1
+            if steps > self.max_steps:
+                raise BudgetExceeded(f"exceeded max_steps={self.max_steps}")
+        return self._result()
+
+    # ---- schedule computation -----------------------------------------
+
+    def _due_round_of(self, process: Process) -> Optional[int]:
+        """Earliest round >= self.round + 1 at which ``process`` must act."""
+        if process.retired:
+            return None
+        floor = self.round + 1
+        due: Optional[int] = None
+        mailbox = self._mailboxes[process.pid]
+        if mailbox:
+            earliest = min(env.sent_round for env in mailbox) + 1
+            due = max(earliest, floor)
+        wake = process.wake_round()
+        if wake is not None:
+            wake = max(wake, floor)
+            due = wake if due is None else min(due, wake)
+        return due
+
+    def _next_due_round(self) -> Optional[int]:
+        dues = [self._due_round_of(p) for p in self.processes]
+        dues = [due for due in dues if due is not None]
+        return min(dues) if dues else None
+
+    # ---- one round -----------------------------------------------------
+
+    def _process_round(self, round_number: int) -> None:
+        self.round = round_number
+        stepped: Dict[int, Action] = {}
+        for process in self.processes:
+            if process.retired:
+                continue
+            due = self._due_round_of_cached(process, round_number)
+            if due is None or due > round_number:
+                continue
+            inbox = self._drain_mailbox(process.pid, round_number)
+            was_active = process.is_active
+            stepped[process.pid] = process.on_round(round_number, inbox)
+            if process.is_active and not was_active:
+                self.metrics.record_activation(process.pid, round_number)
+                self.trace.emit(round_number, "activate", process.pid)
+
+        directives = self._collect_directives(round_number, stepped)
+        self._apply_crashes(round_number, stepped, directives)
+        self._commit_actions(round_number, stepped)
+        if self.strict_invariants:
+            self._check_single_active(round_number)
+
+    def _due_round_of_cached(self, process: Process, round_number: int) -> Optional[int]:
+        # Re-derive rather than cache: wake rounds may have been computed
+        # against an older ``self.round`` but _due_round_of clamps, and
+        # self.round was just advanced, so clamp to round_number instead.
+        if process.retired:
+            return None
+        mailbox = self._mailboxes[process.pid]
+        if any(env.sent_round < round_number for env in mailbox):
+            return round_number
+        wake = process.wake_round()
+        if wake is not None and wake <= round_number:
+            return round_number
+        return None
+
+    def _drain_mailbox(self, pid: int, round_number: int) -> List[Envelope]:
+        mailbox = self._mailboxes[pid]
+        ready = [env for env in mailbox if env.sent_round < round_number]
+        if ready:
+            self._mailboxes[pid] = [
+                env for env in mailbox if env.sent_round >= round_number
+            ]
+        return ready
+
+    # ---- crashes ---------------------------------------------------------
+
+    def _collect_directives(
+        self, round_number: int, stepped: Dict[int, Action]
+    ) -> List[CrashDirective]:
+        if self.adversary is None:
+            return []
+        directives = list(self.adversary.decide(round_number, stepped, self))
+        for directive in directives:
+            if not 0 <= directive.pid < self.t:
+                raise AdversaryError(f"directive targets unknown pid {directive.pid}")
+        return directives
+
+    def _apply_crashes(
+        self,
+        round_number: int,
+        stepped: Dict[int, Action],
+        directives: List[CrashDirective],
+    ) -> None:
+        for directive in directives:
+            victim = self.processes[directive.pid]
+            if victim.retired:
+                continue
+            if not self.allow_total_failure and self._crashed_count() >= self.t - 1:
+                raise AdversaryError(
+                    "adversary attempted to crash the last surviving process; "
+                    "pass allow_total_failure=True to permit executions with "
+                    "no survivor"
+                )
+            if directive.pid in stepped:
+                stepped[directive.pid] = directive.censor(
+                    stepped[directive.pid], self.crash_rng
+                )
+            victim.mark_crashed(max(directive.at_round, 0))
+            self.metrics.record_crash(victim.pid, victim.crash_round or round_number)
+            self.trace.emit(round_number, "crash", victim.pid, directive.phase.value)
+
+    def _crashed_count(self) -> int:
+        return sum(1 for p in self.processes if p.crashed)
+
+    # ---- committing actions ----------------------------------------------
+
+    def _commit_actions(self, round_number: int, stepped: Dict[int, Action]) -> None:
+        for pid, action in stepped.items():
+            process = self.processes[pid]
+            if action.work is not None:
+                self._record_work(pid, action.work, round_number)
+            for send in action.sends:
+                self._post(pid, send, round_number)
+            if action.halt and not process.crashed:
+                process.mark_halted(round_number)
+                self.metrics.record_retire(pid, round_number)
+                self.trace.emit(round_number, "halt", pid)
+
+    def _record_work(self, pid: int, unit: int, round_number: int) -> None:
+        if self.tracker is not None:
+            self.tracker.record(pid, unit, round_number)
+        self.metrics.record_work(pid, unit, round_number)
+        self.trace.emit(round_number, "work", pid, unit)
+        if self.unit_effect is not None:
+            for send in self.unit_effect(pid, unit, round_number):
+                self._post(pid, send, round_number)
+
+    def _post(self, src: int, send: Send, round_number: int) -> None:
+        envelope = Envelope(
+            src=src,
+            dst=send.dst,
+            payload=send.payload,
+            kind=send.kind,
+            sent_round=round_number,
+        )
+        self.metrics.record_send(envelope)
+        self.trace.emit(
+            round_number, "send", src, (send.kind.value, send.dst, send.payload)
+        )
+        recipient = self.processes[send.dst] if 0 <= send.dst < self.t else None
+        if recipient is not None and not recipient.retired:
+            self._mailboxes[send.dst].append(envelope)
+
+    # ---- invariants and results -------------------------------------------
+
+    def _check_single_active(self, round_number: int) -> None:
+        active = [p.pid for p in self.processes if not p.retired and p.is_active]
+        if len(active) > 1:
+            raise InvariantViolation(
+                f"round {round_number}: multiple active processes {active}"
+            )
+
+    def _all_retired(self) -> bool:
+        return all(p.retired for p in self.processes)
+
+    def _any_live_unhalted(self) -> bool:
+        return any(not p.retired for p in self.processes)
+
+    def _result(self) -> RunResult:
+        survivors = sum(1 for p in self.processes if not p.crashed)
+        halted = sum(1 for p in self.processes if p.halted)
+        for process in self.processes:
+            if process.halt_round is not None:
+                self.metrics.record_retire(process.pid, process.halt_round)
+            if process.crash_round is not None:
+                self.metrics.record_retire(process.pid, process.crash_round)
+            lifetime = process.crash_round if process.crashed else process.halt_round
+            if lifetime is not None:
+                self.metrics.available_processor_steps += lifetime + 1
+        completed = self.tracker.all_done() if self.tracker is not None else True
+        return RunResult(
+            completed=completed,
+            survivors=survivors,
+            halted=halted,
+            metrics=self.metrics,
+            stalled=False,
+        )
+
+
+class Adversary:
+    """Base adversary: observes each processed round and issues crashes.
+
+    Subclasses override :meth:`decide`.  The engine calls it once per
+    *processed* round with the actions proposed by every process that
+    acted; a directive whose ``at_round`` lies in a skipped (quiescent)
+    stretch is applied at the next processed round, which is
+    observationally identical because an idle process emits nothing.
+    """
+
+    def bind(self, engine: Engine) -> None:
+        self.engine = engine
+        self.rng = derive_rng(engine.rng, type(self).__name__)
+
+    def decide(
+        self, round_number: int, actions: Dict[int, Action], engine: Engine
+    ) -> List[CrashDirective]:
+        return []

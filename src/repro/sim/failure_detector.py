@@ -1,0 +1,43 @@
+"""A sound and complete crash failure detector for the asynchronous model.
+
+The end of Section 2.1 observes that Protocol A runs unchanged in a
+completely asynchronous system "equipped with an appropriate failure
+detection mechanism [Chandra-Toueg]": the mechanism must eventually
+inform every live process of every crash (*completeness*) and must never
+report a process that has not crashed (*soundness*).
+
+This module implements such a detector as an oracle with bounded but
+adversary-controlled notification delay: when a process crashes at time
+``tau``, every live process receives a suspicion event at
+``tau + delay`` where ``delay`` is drawn per observer from the
+configured window.  Soundness holds by construction (only actual crashes
+generate suspicions; clean termination is never reported, which is what
+the async takeover rule relies on).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+DelayFn = Callable[[random.Random, int, int], float]
+"""(rng, observer pid, crashed pid) -> notification delay."""
+
+
+@dataclass(frozen=True)
+class FailureDetector:
+    """Configuration of the oracle failure detector."""
+
+    min_delay: float = 1.0
+    max_delay: float = 8.0
+    delay_fn: DelayFn = None  # type: ignore[assignment]
+
+    def notification_delay(
+        self, rng: random.Random, observer: int, crashed: int
+    ) -> float:
+        if self.delay_fn is not None:
+            return max(0.0, self.delay_fn(rng, observer, crashed))
+        if self.max_delay <= self.min_delay:
+            return self.min_delay
+        return rng.uniform(self.min_delay, self.max_delay)

@@ -1,0 +1,131 @@
+"""Accounting for the paper's complexity measures.
+
+The paper charges three quantities - work (unit executions with
+multiplicity), messages (each point-to-point copy of a broadcast counts),
+and time (rounds until every process has retired) - plus their sum,
+*effort* = work + messages.  This module tallies all of them, with
+per-kind and per-process breakdowns so the benchmark tables can show not
+just totals but where each protocol spends.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.sim.actions import Envelope, MessageKind
+
+
+@dataclass
+class Metrics:
+    """Mutable tally of one simulation run."""
+
+    work_total: int = 0
+    messages_total: int = 0
+    work_by_unit: Counter = field(default_factory=Counter)
+    work_by_process: Counter = field(default_factory=Counter)
+    messages_by_kind: Counter = field(default_factory=Counter)
+    messages_by_process: Counter = field(default_factory=Counter)
+    crashes: int = 0
+    rounds: int = 0                # last round in which anything happened
+    retire_round: int = 0          # round by which every process retired
+    activations: int = 0           # times a process became active (A/B/C)
+    #: The Kanellakis-Shvartsman measure discussed in Section 1.1: the sum
+    #: over rounds of the number of non-faulty processes, i.e. each process
+    #: is charged for every round up to its retirement *whether or not it
+    #: expends effort*.  The paper argues against charging idle rounds -
+    #: comparing this column with `effort` makes the §1.1 point measurable.
+    available_processor_steps: int = 0
+
+    # ---- recording -------------------------------------------------
+
+    def record_work(self, pid: int, unit: int, round_number: int) -> None:
+        self.work_total += 1
+        self.work_by_unit[unit] += 1
+        self.work_by_process[pid] += 1
+        self.rounds = max(self.rounds, round_number)
+
+    def record_send(self, envelope: Envelope) -> None:
+        self.messages_total += 1
+        self.messages_by_kind[envelope.kind] += 1
+        self.messages_by_process[envelope.src] += 1
+        self.rounds = max(self.rounds, envelope.sent_round)
+
+    def record_crash(self, pid: int, round_number: int) -> None:
+        self.crashes += 1
+        self.retire_round = max(self.retire_round, round_number)
+
+    def record_retire(self, pid: int, round_number: int) -> None:
+        self.retire_round = max(self.retire_round, round_number)
+
+    def record_activation(self, pid: int, round_number: int) -> None:
+        self.activations += 1
+        self.rounds = max(self.rounds, round_number)
+
+    # ---- derived measures -------------------------------------------
+
+    @property
+    def effort(self) -> int:
+        """The paper's effort measure: work plus messages."""
+        return self.work_total + self.messages_total
+
+    def redundant_work(self) -> int:
+        """Units executed beyond the first execution of each unit."""
+        return sum(count - 1 for count in self.work_by_unit.values() if count > 1)
+
+    def distinct_units_done(self) -> int:
+        return len(self.work_by_unit)
+
+    def messages_of(self, kind: MessageKind) -> int:
+        return self.messages_by_kind.get(kind, 0)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat summary used by tables, benches and EXPERIMENTS.md."""
+        return {
+            "work": self.work_total,
+            "messages": self.messages_total,
+            "effort": self.effort,
+            "rounds": self.retire_round,
+            "redundant_work": self.redundant_work(),
+            "crashes": self.crashes,
+            "activations": self.activations,
+            "available_processor_steps": self.available_processor_steps,
+            "messages_by_kind": {
+                kind.value: count for kind, count in sorted(self.messages_by_kind.items())
+            },
+        }
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one simulated execution.
+
+    Attributes:
+        completed: every work unit was performed at least once.
+        survivors: number of processes that never crashed (they may have
+            terminated cleanly).
+        metrics: the full accounting tally.
+        halted: number of processes that terminated cleanly.
+        stalled: the run ended because nothing could make progress (only
+            possible when every process crashed - otherwise the engine
+            raises ``SimulationStalled``).
+    """
+
+    completed: bool
+    survivors: int
+    halted: int
+    metrics: Metrics
+    stalled: bool = False
+    note: Optional[str] = None
+
+    @property
+    def effort(self) -> int:
+        return self.metrics.effort
+
+    def summary(self) -> Dict[str, object]:
+        data = dict(self.metrics.as_dict())
+        data.update(
+            completed=self.completed, survivors=self.survivors, halted=self.halted
+        )
+        return data

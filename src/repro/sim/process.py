@@ -1,0 +1,90 @@
+"""Base class for simulated processes.
+
+A process is a state machine driven by the engine.  The engine calls
+:meth:`Process.on_round` whenever the process is *due*: it has undelivered
+mail, or its self-declared wake round has arrived.  Between due rounds the
+process is quiescent by contract, which is what allows the engine to
+fast-forward over the enormous idle stretches that Protocol C's
+exponential deadlines create.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from repro.sim.actions import Action, Envelope
+
+
+class Process(ABC):
+    """One of the ``t`` crash-prone processes of the paper's model."""
+
+    def __init__(self, pid: int, t: int):
+        self.pid = pid
+        self.t = t
+        self.crashed = False
+        self.crash_round: Optional[int] = None
+        self.halted = False
+        self.halt_round: Optional[int] = None
+
+    # ---- lifecycle -------------------------------------------------
+
+    @property
+    def retired(self) -> bool:
+        """Crashed or terminated - the paper's notion of a retired process."""
+        return self.crashed or self.halted
+
+    @property
+    def is_active(self) -> bool:
+        """Whether this process currently holds the single "active" role.
+
+        Only meaningful for Protocols A, B and C, where the paper proves
+        at most one process is active at any time; the engine's strict
+        mode asserts exactly this.  Protocols without the notion return
+        False.
+        """
+        return False
+
+    def mark_crashed(self, round_number: int) -> None:
+        self.crashed = True
+        if self.crash_round is None:
+            self.crash_round = round_number
+
+    def mark_halted(self, round_number: int) -> None:
+        self.halted = True
+        if self.halt_round is None:
+            self.halt_round = round_number
+
+    # ---- scheduling ------------------------------------------------
+
+    @abstractmethod
+    def wake_round(self) -> Optional[int]:
+        """Next round at which this process will act *without* receiving
+        any message, or ``None`` if it only reacts to messages.
+
+        Returning a round in the past is allowed and means "as soon as
+        possible"; the engine treats it as the next processed round.
+        """
+
+    @abstractmethod
+    def on_round(self, round_number: int, inbox: List[Envelope]) -> Action:
+        """Perform one round.
+
+        ``inbox`` contains every envelope stamped before ``round_number``
+        that has not been delivered yet (the engine guarantees stamps are
+        strictly smaller than ``round_number``).  The returned action's
+        sends are stamped ``round_number``.
+        """
+
+    # ---- debugging -------------------------------------------------
+
+    def state_label(self) -> str:
+        """Short human-readable state tag for traces."""
+        if self.crashed:
+            return "crashed"
+        if self.halted:
+            return "halted"
+        return "alive"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} pid={self.pid} {self.state_label()}>"

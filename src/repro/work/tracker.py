@@ -1,0 +1,68 @@
+"""Completion tracking for the pool of work units.
+
+The tracker is the simulation's ground truth about which of the ``n``
+idempotent units have been performed, how often, by whom and when.  It is
+deliberately separate from any process state: the protocols' *knowledge*
+of completed work lives inside the processes, while the tracker records
+what physically happened - the gap between the two is exactly the
+redundant work the paper's theorems bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class WorkTracker:
+    """Records executions of units ``1..n``."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ConfigurationError(f"cannot track a negative number of units: {n}")
+        self.n = n
+        self._count: Dict[int, int] = {}
+        self._first: Dict[int, Tuple[int, int]] = {}  # unit -> (round, pid)
+
+    # ---- recording ---------------------------------------------------
+
+    def record(self, pid: int, unit: int, round_number: int) -> None:
+        if not 1 <= unit <= self.n:
+            raise ConfigurationError(
+                f"process {pid} performed unit {unit}, outside 1..{self.n}"
+            )
+        self._count[unit] = self._count.get(unit, 0) + 1
+        self._first.setdefault(unit, (round_number, pid))
+
+    # ---- queries -----------------------------------------------------
+
+    def times_done(self, unit: int) -> int:
+        return self._count.get(unit, 0)
+
+    def all_done(self) -> bool:
+        return len(self._count) == self.n
+
+    def missing_units(self) -> List[int]:
+        return [unit for unit in range(1, self.n + 1) if unit not in self._count]
+
+    def total_executions(self) -> int:
+        return sum(self._count.values())
+
+    def redundant_executions(self) -> int:
+        return sum(count - 1 for count in self._count.values())
+
+    def first_execution(self, unit: int) -> Optional[Tuple[int, int]]:
+        """(round, pid) of the first execution of ``unit``, if any."""
+        return self._first.get(unit)
+
+    def completion_round(self) -> Optional[int]:
+        """Round by which every unit had been performed at least once."""
+        if not self.all_done():
+            return None
+        return max(
+            (round_number for round_number, _ in self._first.values()), default=0
+        )
+
+    def max_multiplicity(self) -> int:
+        return max(self._count.values(), default=0)

@@ -1,0 +1,88 @@
+"""Workload scenarios: the paper's motivating examples as WorkSpecs.
+
+The paper's units of work are any idempotent operations: "verifying a
+step in a formal proof, evaluating a boolean formula at a particular
+assignment, sensing the status of a valve, closing a valve, sending a
+message to a process outside the system, or reading records in a
+distributed database."  Scenarios give the benchmark tables and the
+examples concrete unit labels; the simulator's behaviour depends only on
+the unit count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.work.spec import WorkSpec
+
+
+def valve_shutdown(n: int) -> WorkSpec:
+    """The nuclear-reactor scenario from the introduction: ``n`` valves
+    must each be verified closed before fuel is added."""
+    return WorkSpec(
+        n=n,
+        name="valve-shutdown",
+        describe_unit=lambda unit: f"verify valve #{unit} is closed",
+    )
+
+
+def proof_checking(n: int) -> WorkSpec:
+    """Verify each step of an ``n``-step formal proof."""
+    return WorkSpec(
+        n=n,
+        name="proof-checking",
+        describe_unit=lambda unit: f"check proof step {unit}",
+    )
+
+
+def formula_evaluation(n: int) -> WorkSpec:
+    """Evaluate a boolean formula at ``n`` assignments (e.g. SAT search)."""
+    return WorkSpec(
+        n=n,
+        name="formula-evaluation",
+        describe_unit=lambda unit: f"evaluate formula at assignment {unit}",
+    )
+
+
+def database_scan(n: int) -> WorkSpec:
+    """Read ``n`` record ranges of a distributed database."""
+    return WorkSpec(
+        n=n,
+        name="database-scan",
+        describe_unit=lambda unit: f"read record range {unit}",
+    )
+
+
+def idle_workstation_jobs(n: int) -> WorkSpec:
+    """The LAN scenario: ``n`` batch jobs farmed out to idle workstations;
+    a "failure" is a user reclaiming her machine."""
+    return WorkSpec(
+        n=n,
+        name="idle-workstations",
+        describe_unit=lambda unit: f"run batch job {unit}",
+    )
+
+
+SCENARIOS: Dict[str, Callable[[int], WorkSpec]] = {
+    "valve-shutdown": valve_shutdown,
+    "proof-checking": proof_checking,
+    "formula-evaluation": formula_evaluation,
+    "database-scan": database_scan,
+    "idle-workstations": idle_workstation_jobs,
+}
+
+
+def scenario(name: str, n: int) -> WorkSpec:
+    """Look up a scenario by name."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(SCENARIOS))}"
+        ) from None
+    return factory(n)
+
+
+def scenario_names() -> List[str]:
+    return sorted(SCENARIOS)

@@ -1,0 +1,153 @@
+"""Asynchronous engine, failure detector, and async Protocol A."""
+
+import math
+
+import pytest
+
+from repro.core.protocol_a_async import AsyncProtocolAProcess, build_async_protocol_a
+from repro.errors import SimulationStalled
+from repro.sim.actions import MessageKind
+from repro.sim.async_engine import (
+    AsyncContext,
+    AsyncEngine,
+    AsyncProcess,
+    uniform_delays,
+)
+from repro.sim.failure_detector import FailureDetector
+from repro.work.tracker import WorkTracker
+
+N, T = 100, 16
+
+
+def _run(crash_times=None, seed=0, delays=None, detector=None, n=N, t=T):
+    processes = build_async_protocol_a(n, t)
+    tracker = WorkTracker(n)
+    engine = AsyncEngine(
+        processes,
+        tracker=tracker,
+        seed=seed,
+        crash_times=crash_times or {},
+        delay_model=delays or uniform_delays(),
+        failure_detector=detector or FailureDetector(),
+    )
+    return engine.run(), processes
+
+
+# ---- failure detector semantics ---------------------------------------------
+
+
+class _Probe(AsyncProcess):
+    """Records suspicion events; halts when told."""
+
+    def __init__(self, pid, t):
+        super().__init__(pid, t)
+        self.suspicions = []
+
+    def on_start(self, ctx):
+        ctx.wake_in(1000.0, "stop")
+
+    def on_message(self, ctx, src, payload, kind):
+        pass
+
+    def on_wake(self, ctx, tag):
+        if tag == "stop":
+            ctx.halt()
+
+    def on_suspect(self, ctx, crashed_pid):
+        self.suspicions.append((ctx.now, crashed_pid))
+
+
+def test_detector_complete_every_crash_reported():
+    probes = [_Probe(pid, 3) for pid in range(3)]
+    engine = AsyncEngine(probes, seed=1, crash_times={0: 5.0})
+    engine.run()
+    for probe in probes[1:]:
+        assert [pid for _, pid in probe.suspicions] == [0]
+
+
+def test_detector_sound_no_crash_no_report():
+    probes = [_Probe(pid, 3) for pid in range(3)]
+    engine = AsyncEngine(probes, seed=1)
+    engine.run()
+    assert all(not probe.suspicions for probe in probes)
+
+
+def test_detector_delay_window_respected():
+    probes = [_Probe(pid, 2) for pid in range(2)]
+    detector = FailureDetector(min_delay=3.0, max_delay=4.0)
+    engine = AsyncEngine(
+        probes, seed=2, crash_times={0: 10.0}, failure_detector=detector
+    )
+    engine.run()
+    (when, who), = probes[1].suspicions
+    assert who == 0
+    assert 13.0 <= when <= 14.0
+
+
+# ---- async Protocol A ----------------------------------------------------------
+
+
+def test_failure_free_effort_matches_sync():
+    result, _ = _run(seed=1)
+    assert result.completed
+    assert result.metrics.work_total == N
+    assert result.metrics.messages_total <= 9 * T * math.isqrt(T)
+
+
+def test_leader_crash_triggers_suspicion_takeover():
+    result, processes = _run(crash_times={0: 5.0}, seed=2)
+    assert result.completed
+    assert processes[1].active or processes[1].halted
+
+
+def test_rolling_crashes():
+    crash_times = {pid: 4.0 + 9.0 * pid for pid in range(T - 1)}
+    result, _ = _run(crash_times=crash_times, seed=3)
+    assert result.completed
+    assert result.survivors == 1
+
+
+def test_work_bound_holds_under_async_crashes():
+    for seed in range(6):
+        crash_times = {pid: 2.0 + 6.0 * pid for pid in range(seed % (T - 1))}
+        result, _ = _run(crash_times=crash_times, seed=seed)
+        assert result.completed
+        assert result.metrics.work_total <= 3 * max(N, T)
+        assert result.metrics.messages_total <= 9 * T * math.isqrt(T)
+
+
+def test_extreme_delay_jitter_does_not_break_safety():
+    result, _ = _run(
+        crash_times={0: 3.0, 1: 30.0},
+        seed=4,
+        delays=uniform_delays(0.1, 50.0),
+    )
+    assert result.completed
+
+
+def test_slow_detector_just_slows_takeover():
+    detector = FailureDetector(min_delay=200.0, max_delay=300.0)
+    result, _ = _run(crash_times={0: 1.0}, seed=5, detector=detector)
+    assert result.completed
+    assert result.metrics.retire_round >= 200  # waited for the detector
+
+
+def test_clean_termination_is_never_suspected():
+    # No crashes: nobody but process 0 must ever activate.
+    result, processes = _run(seed=6)
+    assert result.completed
+    assert all(not p.active for p in processes[1:])
+
+
+def test_non_square_t_async():
+    result, _ = _run(n=45, t=7, crash_times={0: 4.0, 1: 9.0}, seed=7)
+    assert result.completed
+
+
+def test_stall_detection_in_async_engine():
+    class Silent(AsyncProcess):
+        def on_message(self, ctx, src, payload, kind):
+            pass
+
+    with pytest.raises(SimulationStalled):
+        AsyncEngine([Silent(0, 1)], seed=1).run()

@@ -1,0 +1,122 @@
+"""The Section 1 straw-man baselines: exact complexity accounting."""
+
+import pytest
+
+from repro import run_protocol
+from repro.sim.adversary import FixedSchedule, KillActive, RandomCrashes
+from repro.sim.crashes import CrashDirective
+from tests.conftest import all_but_one_dead
+
+# ---- replicate-everywhere ------------------------------------------------
+
+
+def test_replicate_failure_free_costs_tn_work_zero_messages():
+    result = run_protocol("replicate", 50, 8, seed=1)
+    assert result.completed
+    assert result.metrics.work_total == 8 * 50
+    assert result.metrics.messages_total == 0
+    assert result.metrics.retire_round == 49  # n rounds: 0..n-1
+
+
+def test_replicate_survives_any_crashes_without_coordination():
+    adversary = FixedSchedule(
+        [CrashDirective(pid=pid, at_round=pid * 3) for pid in range(7)]
+    )
+    result = run_protocol("replicate", 50, 8, adversary=adversary, seed=2)
+    assert result.completed
+    assert result.survivors == 1
+
+
+def test_replicate_work_scales_with_survivor_lifetime():
+    result = run_protocol("replicate", 50, 8, adversary=all_but_one_dead(8), seed=3)
+    assert result.completed
+    assert result.metrics.work_total == 50  # only the survivor worked
+
+
+# ---- single-worker checkpoint-to-all ------------------------------------------
+
+
+def test_naive_interval_one_work_optimal_but_message_heavy():
+    n, t = 60, 8
+    result = run_protocol("naive", n, t, interval=1, seed=1)
+    assert result.completed
+    assert result.metrics.work_total == n
+    # One broadcast to t-1 others after every unit: ~tn messages.
+    assert result.metrics.messages_total == n * (t - 1)
+
+
+def test_naive_work_bound_with_failures():
+    n, t = 60, 8
+    adversary = KillActive(t - 1, actions_before_kill=2)
+    result = run_protocol("naive", n, t, interval=1, adversary=adversary, seed=2)
+    assert result.completed
+    # Paper: at most n + t - 1 units ever performed with k = n checkpoints.
+    assert result.metrics.work_total <= n + t - 1
+
+
+def test_naive_large_interval_wastes_work_not_messages():
+    n, t = 60, 8
+    adversary = KillActive(t - 1, actions_before_kill=5)
+    result = run_protocol("naive", n, t, interval=30, adversary=adversary, seed=3)
+    assert result.completed
+    # Few checkpoints -> few messages but redone work up to interval per crash.
+    assert result.metrics.messages_total <= (n // 30 + 2) * (t - 1) * t
+    assert result.metrics.work_total > n
+
+
+def test_naive_checkpoint_interval_tradeoff_is_monotone():
+    """Larger intervals cannot increase messages; smaller intervals cannot
+    increase redone work (the Section 2 motivation)."""
+    n, t = 120, 9
+    messages, redone = [], []
+    for interval in (1, 5, 20, 60):
+        worst_msgs = worst_redo = 0
+        for seed in range(3):
+            result = run_protocol(
+                "naive",
+                n,
+                t,
+                interval=interval,
+                adversary=KillActive(t - 1, actions_before_kill=3),
+                seed=seed,
+            )
+            assert result.completed
+            worst_msgs = max(worst_msgs, result.metrics.messages_total)
+            worst_redo = max(worst_redo, result.metrics.redundant_work())
+        messages.append(worst_msgs)
+        redone.append(worst_redo)
+    assert messages == sorted(messages, reverse=True)
+    assert redone == sorted(redone)
+
+
+def test_naive_lone_survivor():
+    result = run_protocol(
+        "naive", 40, 8, interval=4, adversary=all_but_one_dead(8), seed=4
+    )
+    assert result.completed
+    assert result.metrics.work_by_process[7] == 40
+
+
+def test_naive_random_battery():
+    for seed in range(6):
+        result = run_protocol(
+            "naive",
+            40,
+            8,
+            interval=5,
+            adversary=RandomCrashes(7, max_action_index=20),
+            seed=seed,
+        )
+        assert result.completed
+
+
+def test_naive_rejects_bad_interval():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        run_protocol("naive", 10, 4, interval=0)
+
+
+def test_naive_n_zero():
+    result = run_protocol("naive", 0, 4, interval=1, seed=1)
+    assert result.completed

@@ -1,0 +1,63 @@
+"""The Section 1 bootstrap: work not initially common knowledge."""
+
+import pytest
+
+from repro.agreement.bootstrap import run_with_unknown_pool
+from repro.errors import ConfigurationError
+from repro.sim.adversary import RandomCrashes
+
+
+def test_pool_agreed_and_performed():
+    outcome = run_with_unknown_pool(range(1, 41), 8, protocol="B", seed=1)
+    assert outcome.pool_agreement
+    assert outcome.agreed_pool == tuple(range(1, 41))
+    assert outcome.completed
+    assert outcome.stage2_work >= 40
+
+
+def test_cost_at_most_doubles_for_n_omega_t():
+    # Stage 1's cost is itself a work-protocol cost on n units, so the
+    # combined message count is at most ~2x a single stage plus O(n).
+    n, t = 64, 8
+    outcome = run_with_unknown_pool(range(1, n + 1), t, protocol="B", seed=2)
+    single = outcome.stage2_messages
+    assert outcome.total_messages <= 2 * (single + n + 10 * t * 4)
+
+
+def test_bootstrap_with_stage1_crashes():
+    for seed in range(4):
+        outcome = run_with_unknown_pool(
+            range(1, 25),
+            8,
+            protocol="B",
+            adversary_stage1=RandomCrashes(4, max_action_index=10, victims=list(range(7))),
+            seed=seed,
+        )
+        assert outcome.pool_agreement
+        # The general may have crashed before informing anyone, in which
+        # case the agreed pool is the default (empty) one - but agreement
+        # itself must always hold and stage 2 must complete.
+        assert outcome.completed
+
+
+def test_bootstrap_with_stage2_crashes():
+    outcome = run_with_unknown_pool(
+        range(1, 25),
+        8,
+        protocol="B",
+        adversary_stage2=RandomCrashes(6, max_action_index=15),
+        seed=3,
+    )
+    assert outcome.pool_agreement and outcome.completed
+
+
+@pytest.mark.parametrize("protocol", ["A", "C"])
+def test_bootstrap_other_protocols(protocol):
+    outcome = run_with_unknown_pool(range(1, 13), 6, protocol=protocol, seed=4)
+    assert outcome.pool_agreement
+    assert outcome.completed
+
+
+def test_bootstrap_rejects_tiny_system():
+    with pytest.raises(ConfigurationError):
+        run_with_unknown_pool([1, 2], 1)

@@ -1,0 +1,74 @@
+"""Structural tests for the Section 5 value-piggybacking rules.
+
+The proof of the agreement construction depends on two asymmetric rules:
+Protocols A and B must NOT include the value in their (broadcast)
+checkpoint messages, while Protocol C MUST include it in its ordinary
+messages.  These tests inspect the actual wire payloads.
+"""
+
+from repro.agreement.byzantine import ByzantineAgreement
+from repro.sim.actions import MessageKind
+from repro.sim.adversary import RandomCrashes
+from repro.sim.trace import Trace
+
+VALUE = 1234987
+
+
+def _trace_for(protocol, seed=1, adversary=None):
+    trace = Trace(enabled=True)
+    ba = ByzantineAgreement(20, 5, protocol=protocol)
+    outcome = ba.run(VALUE, seed=seed, adversary=adversary, trace=trace)
+    return outcome, trace
+
+
+def _payloads_of_kind(trace, kinds):
+    return [
+        event.detail[2]
+        for event in trace.of_kind("send")
+        if event.detail[0] in kinds
+    ]
+
+
+def test_a_and_b_checkpoints_never_carry_the_value():
+    kinds = (
+        MessageKind.PARTIAL_CHECKPOINT.value,
+        MessageKind.FULL_CHECKPOINT.value,
+    )
+    for protocol in ("A", "B"):
+        outcome, trace = _trace_for(protocol)
+        payloads = _payloads_of_kind(trace, kinds)
+        assert payloads, "checkpoints were sent"
+        for payload in payloads:
+            assert VALUE not in payload, (protocol, payload)
+        assert outcome.agreement and outcome.decided_value == VALUE
+
+
+def test_c_ordinary_messages_carry_the_value():
+    outcome, trace = _trace_for("C")
+    ordinaries = _payloads_of_kind(trace, (MessageKind.ORDINARY.value,))
+    assert ordinaries, "ordinary messages were sent"
+    informed = [payload for payload in ordinaries if payload[2] == VALUE]
+    # Once the general's value has reached the active process, every
+    # later ordinary message carries it.
+    assert informed, "no ordinary message ever carried the value"
+    assert outcome.agreement and outcome.decided_value == VALUE
+
+
+def test_value_messages_target_each_unit_once_failure_free():
+    outcome, trace = _trace_for("B")
+    value_sends = [
+        event.detail[1]
+        for event in trace.of_kind("send")
+        if event.detail[0] == MessageKind.VALUE.value and event.round > 0
+    ]
+    # Unit p informs process p (self-sends are skipped by the runner).
+    assert sorted(set(value_sends)) == value_sends or len(value_sends) >= 19
+
+
+def test_piggybacking_survives_crashes():
+    outcome, trace = _trace_for(
+        "C",
+        seed=3,
+        adversary=RandomCrashes(4, max_action_index=10, victims=list(range(6))),
+    )
+    assert outcome.agreement

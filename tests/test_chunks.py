@@ -1,0 +1,92 @@
+"""Unit tests for the chunk/subchunk partition of the work pool."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.chunks import SubchunkPlan
+from repro.errors import ConfigurationError
+
+
+def test_paper_shape_exact_division():
+    # n = 160, t = 16: 16 subchunks of 10 units; chunks of 4 subchunks.
+    plan = SubchunkPlan(160, 16, 4)
+    assert plan.units_of(1) == list(range(1, 11))
+    assert plan.units_of(16) == list(range(151, 161))
+    assert plan.boundaries() == [4, 8, 12, 16]
+
+
+def test_last_unit_of():
+    plan = SubchunkPlan(160, 16, 4)
+    assert plan.last_unit_of(0) == 0
+    assert plan.last_unit_of(4) == 40
+    assert plan.last_unit_of(16) == 160
+
+
+def test_uneven_division():
+    plan = SubchunkPlan(10, 4, 2)
+    sizes = [len(plan.units_of(c)) for c in range(1, 5)]
+    assert sum(sizes) == 10
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_n_smaller_than_t_has_empty_subchunks():
+    plan = SubchunkPlan(3, 8, 3)
+    sizes = [len(plan.units_of(c)) for c in range(1, 9)]
+    assert sum(sizes) == 3
+    assert 0 in sizes  # some subchunks are empty
+
+
+def test_final_subchunk_is_always_boundary():
+    # t = 10, group size 4: boundaries at 4, 8 and the final subchunk 10.
+    plan = SubchunkPlan(100, 10, 4)
+    assert plan.boundaries() == [4, 8, 10]
+
+
+def test_zero_work():
+    plan = SubchunkPlan(0, 4, 2)
+    assert all(plan.units_of(c) == [] for c in range(1, 5))
+
+
+def test_invalid_inputs_raise():
+    with pytest.raises(ConfigurationError):
+        SubchunkPlan(-1, 4, 2)
+    with pytest.raises(ConfigurationError):
+        SubchunkPlan(10, 0, 2)
+    plan = SubchunkPlan(10, 4, 2)
+    with pytest.raises(ConfigurationError):
+        plan.units_of(0)
+    with pytest.raises(ConfigurationError):
+        plan.units_of(5)
+
+
+@given(
+    st.integers(min_value=0, max_value=3000),
+    st.integers(min_value=1, max_value=80),
+)
+def test_subchunks_partition_units_exactly(n, t):
+    group_size = max(1, int(t ** 0.5))
+    plan = SubchunkPlan(n, t, group_size)
+    units = []
+    for c in range(1, t + 1):
+        chunk_units = plan.units_of(c)
+        assert len(chunk_units) <= plan.subchunk_size_bound()
+        units.extend(chunk_units)
+    assert units == list(range(1, n + 1))
+
+
+@given(
+    st.integers(min_value=1, max_value=2000),
+    st.integers(min_value=1, max_value=80),
+)
+def test_last_unit_monotone_and_consistent(n, t):
+    plan = SubchunkPlan(n, t, max(1, int(t ** 0.5)))
+    previous = 0
+    for c in range(1, t + 1):
+        last = plan.last_unit_of(c)
+        assert last >= previous
+        chunk_units = plan.units_of(c)
+        if chunk_units:
+            assert chunk_units[-1] == last
+        previous = last
+    assert previous == n

@@ -1,0 +1,60 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_protocols(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "a" in out.split()
+    assert "d" in out.split()
+
+
+def test_run_failure_free(capsys):
+    assert main(["run", "b", "--n", "32", "--t", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "work" in out and "32" in out
+
+
+def test_run_with_random_crashes(capsys):
+    assert main(["run", "a", "--n", "32", "--t", "8", "--crashes", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "completed" in out
+
+
+def test_run_with_kill_active(capsys):
+    assert main(
+        ["run", "b", "--n", "32", "--t", "8", "--kill-active", "7", "--seed", "3"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "crashes" in out
+
+
+def test_compare_table(capsys):
+    assert main(
+        ["compare", "--n", "32", "--t", "4", "--protocols", "a", "d"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "| a" in out and "| d" in out
+    assert "effort" in out
+
+
+def test_report_quick(tmp_path, capsys, monkeypatch):
+    # Patch the experiment registry to keep the CLI test fast.
+    import repro.analysis.report as report_module
+    from repro.analysis.experiments import ExperimentResult
+
+    fake = ExperimentResult(
+        exp_id="EX", title="Fake", claim="c", columns=["ok"], rows=[{"ok": True}]
+    )
+    monkeypatch.setattr(report_module, "run_all", lambda quick: [fake])
+    out_file = tmp_path / "OUT.md"
+    assert main(["report", "--quick", "--out", str(out_file)]) == 0
+    assert "Fake" in out_file.read_text()
+
+
+def test_unknown_protocol_is_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "zz", "--n", "8", "--t", "2"])

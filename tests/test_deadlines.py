@@ -1,0 +1,172 @@
+"""Tests for the deadline algebra, including the Lemma 2.5 identities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.deadlines import (
+    ProtocolADeadlines,
+    ProtocolBDeadlines,
+    ProtocolCDeadlines,
+)
+from repro.errors import ConfigurationError
+
+# ---- Protocol A ---------------------------------------------------------
+
+
+def test_dd_is_linear_in_pid():
+    dl = ProtocolADeadlines(n=100, t=16, slack=0)
+    assert dl.DD(0) == 0
+    assert dl.DD(1) == 100 + 3 * 16
+    assert dl.DD(5) == 5 * (100 + 3 * 16)
+
+
+def test_dd_gap_exceeds_active_budget():
+    dl = ProtocolADeadlines(n=64, t=9)
+    for pid in range(8):
+        assert dl.DD(pid + 1) - dl.DD(pid) >= dl.active_budget
+
+
+def test_retirement_bound_matches_paper_shape():
+    dl = ProtocolADeadlines(n=100, t=16, slack=0)
+    assert dl.retirement_bound() == 16 * (100 + 48)  # nt + 3t^2
+
+
+def test_dd_rejects_negative_pid():
+    with pytest.raises(ConfigurationError):
+        ProtocolADeadlines(n=10, t=4).DD(-1)
+
+
+# ---- Protocol B ---------------------------------------------------------
+
+
+def _b(n=160, t=16, slack=2):
+    return ProtocolBDeadlines(n=n, t=t, slack=slack)
+
+
+def test_pto_matches_paper_with_zero_slack():
+    dl = ProtocolBDeadlines(n=160, t=16, slack=0)
+    assert dl.PTO == 160 // 16 + 2  # n/t + 2
+
+
+def test_gto_decreases_with_position():
+    dl = _b()
+    # Later positions within a group wait less (fewer takeovers ahead).
+    values = [dl.GTO(pid) for pid in range(4)]  # group 1 positions 0..3
+    assert values == sorted(values, reverse=True)
+    assert values[0] == dl.GTO_first
+
+
+def test_ddb_same_group_is_pto():
+    dl = _b()
+    assert dl.DDB(5, 4) == dl.PTO  # both in group 2
+
+
+def test_ddb_rejects_lower_group_listener():
+    dl = _b()
+    with pytest.raises(ConfigurationError):
+        dl.DDB(2, 7)  # j in group 1, i in group 2
+
+
+def test_tt_same_group():
+    dl = _b()
+    assert dl.TT(6, 4) == 2 * dl.PTO
+
+
+def test_tt_cross_group_includes_goahead_polling():
+    dl = _b()
+    assert dl.TT(9, 2) == dl.DDB(9, 2) + 1 * dl.PTO  # pos(9) = 1 in group 3
+
+
+@st.composite
+def _b_config(draw):
+    t = draw(st.integers(min_value=4, max_value=100))
+    n = draw(st.integers(min_value=1, max_value=500))
+    return ProtocolBDeadlines(n=n, t=t, slack=draw(st.integers(0, 4)))
+
+
+@given(_b_config(), st.data())
+def test_lemma_2_5_part_a(dl, data):
+    """TT(j, k) + TT(l, j) == TT(l, k) for l > j > k (Lemma 2.5a)."""
+    t = dl.t
+    if t < 3:
+        return
+    k = data.draw(st.integers(min_value=0, max_value=t - 3), label="k")
+    j = data.draw(st.integers(min_value=k + 1, max_value=t - 2), label="j")
+    l = data.draw(st.integers(min_value=j + 1, max_value=t - 1), label="l")
+    assert dl.TT(j, k) + dl.TT(l, j) == dl.TT(l, k)
+
+
+@given(_b_config(), st.data())
+def test_lemma_2_5_part_b(dl, data):
+    """TT(j,k) + DDB(l,j) == DDB(l,k) when g_j < g_l (Lemma 2.5b)."""
+    t = dl.t
+    groups = dl.groups
+    if groups.num_groups < 2:
+        return
+    k = data.draw(st.integers(min_value=0, max_value=t - 3), label="k")
+    j = data.draw(st.integers(min_value=k + 1, max_value=t - 2), label="j")
+    l = data.draw(st.integers(min_value=j + 1, max_value=t - 1), label="l")
+    if groups.group_of(j) >= groups.group_of(l):
+        return
+    assert dl.TT(j, k) + dl.DDB(l, j) == dl.DDB(l, k)
+
+
+@given(_b_config())
+def test_retirement_bound_dominates_tt(dl):
+    if dl.t > 1:
+        assert dl.retirement_bound() >= dl.TT(dl.t - 1, 0)
+
+
+# ---- Protocol C ---------------------------------------------------------
+
+
+def test_k_matches_paper_with_zero_slack():
+    dl = ProtocolCDeadlines(n=32, t=8, slack=0)
+    assert dl.K == 5 * 8 + 2 * 3  # 5t + 2 log t
+
+
+def test_batched_k_is_larger():
+    plain = ProtocolCDeadlines(n=64, t=8)
+    batched = ProtocolCDeadlines(n=64, t=8, batched=True)
+    assert batched.K > plain.K
+
+
+def test_d_formula_m_zero_staggers_by_pid():
+    dl = ProtocolCDeadlines(n=8, t=4, slack=0)
+    # Highest-numbered know-nothing process times out first.
+    values = [dl.D(pid, 0) for pid in range(4)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_d_rejects_out_of_range_view():
+    dl = ProtocolCDeadlines(n=8, t=4)
+    with pytest.raises(ConfigurationError):
+        dl.D(0, -1)
+    with pytest.raises(ConfigurationError):
+        dl.D(0, 8 + 4)
+
+
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=1, max_value=12),
+)
+def test_d_chain_inequality(t, n):
+    """D(i, m) > (n+t-m) K + sum_{m'>m} D(i, m') - the Lemma 3.4(b)
+    telescoping that makes higher-ranked processes retire first."""
+    dl = ProtocolCDeadlines(n=n, t=t)
+    horizon = n + t - 1
+    for m in range(1, horizon):
+        tail = sum(dl.D(0, m2) for m2 in range(m + 1, horizon + 1))
+        assert dl.D(0, m) > (n + t - m) * dl.K + tail
+
+
+@given(
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=1, max_value=10),
+)
+def test_d_zero_dominates_all_positive_views(t, n):
+    dl = ProtocolCDeadlines(n=n, t=t)
+    tail = sum(dl.D(0, m) for m in range(1, n + t))
+    for pid in range(t - 1):
+        assert dl.D(pid, 0) > (n + t) * dl.K + dl.D(pid + 1, 0) + tail

@@ -1,0 +1,98 @@
+"""Property-based tests for the dynamic-workload variant: random arrival
+schedules and crash patterns, with the deliverability invariant."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol_d_dynamic import (
+    ArrivalSchedule,
+    build_dynamic_protocol_d,
+)
+from repro.sim.adversary import FixedSchedule
+from repro.sim.crashes import CrashDirective, CrashPhase
+from repro.sim.engine import Engine
+from repro.work.tracker import WorkTracker
+
+T = 6
+
+_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def arrival_schedules(draw):
+    count = draw(st.integers(min_value=0, max_value=24))
+    arrivals = []
+    for unit in range(1, count + 1):
+        arrivals.append(
+            (
+                draw(st.integers(min_value=0, max_value=120)),
+                draw(st.integers(min_value=0, max_value=T - 1)),
+                unit,
+            )
+        )
+    return ArrivalSchedule(arrivals)
+
+
+@st.composite
+def crash_plans(draw):
+    count = draw(st.integers(min_value=0, max_value=T - 1))
+    victims = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=T - 1),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    return FixedSchedule(
+        CrashDirective(
+            pid=victim,
+            at_round=draw(st.integers(min_value=0, max_value=200)),
+            phase=draw(st.sampled_from(list(CrashPhase))),
+        )
+        for victim in victims
+    )
+
+
+@settings(**_SETTINGS)
+@given(schedule=arrival_schedules(), crashes=crash_plans(), seed=st.integers(0, 5))
+def test_units_at_surviving_sites_always_done(schedule, crashes, seed):
+    processes = build_dynamic_protocol_d(T, schedule, cycle_length=10)
+    tracker = WorkTracker(schedule.total_units)
+    engine = Engine(processes, tracker=tracker, adversary=crashes, seed=seed)
+    result = engine.run()
+    crashed = {p.pid for p in processes if p.crashed}
+    recoverable = {
+        unit for _, site, unit in schedule.arrivals if site not in crashed
+    }
+    missing = set(tracker.missing_units())
+    assert not (recoverable & missing)
+    # Every live process halted (no deadlock), even when all work is lost.
+    assert all(p.halted for p in processes if not p.crashed)
+
+
+@settings(**_SETTINGS)
+@given(schedule=arrival_schedules(), seed=st.integers(0, 5))
+def test_failure_free_every_unit_done_exactly_once(schedule, seed):
+    processes = build_dynamic_protocol_d(T, schedule, cycle_length=10)
+    tracker = WorkTracker(schedule.total_units)
+    result = Engine(processes, tracker=tracker, seed=seed).run()
+    assert result.completed
+    assert tracker.redundant_executions() == 0
+
+
+@settings(**_SETTINGS)
+@given(schedule=arrival_schedules())
+def test_no_unit_done_before_it_arrives(schedule):
+    processes = build_dynamic_protocol_d(T, schedule, cycle_length=10)
+    tracker = WorkTracker(schedule.total_units)
+    Engine(processes, tracker=tracker, seed=0).run()
+    arrival_round = {unit: rnd for rnd, _, unit in schedule.arrivals}
+    for unit in schedule.units:
+        first = tracker.first_execution(unit)
+        if first is not None:
+            assert first[0] >= arrival_round[unit]

@@ -1,0 +1,25 @@
+"""Every example script must run end to end (they are part of the API
+contract: each exercises the public surface on a realistic scenario)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parents[1] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.stem} produced no output"
+    assert "NO" not in out.split(), f"{path.stem} reported a failure"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the paper repo promises at least three examples"
+    names = {path.stem for path in EXAMPLES}
+    assert "quickstart" in names

@@ -1,0 +1,65 @@
+"""Golden regression tests: exact failure-free numbers per protocol.
+
+These pin the full observable behaviour of every protocol on fixed
+configurations.  Any change to message layout, checkpoint cadence,
+deadline constants or engine timing shows up here first - with exact
+before/after numbers rather than a loosened bound.
+
+(The adversarial counterparts are pinned too, exercising the adversary
+RNG derivation path whose cross-process stability matters.)
+"""
+
+import pytest
+
+from repro import run_protocol
+from repro.sim.adversary import KillActive
+
+FAILURE_FREE = [
+    # (protocol, n, t, work, messages, retire_round)
+    ("A", 64, 16, 64, 135, 105),
+    ("A", 200, 25, 200, 284, 266),
+    ("B", 64, 16, 64, 135, 105),
+    ("B", 200, 25, 200, 284, 266),
+    ("C", 32, 8, 35, 79, 141595),
+    ("C-batched", 128, 8, 176, 57, 77611404840),
+    ("C-naive", 32, 8, 53, 53, 5505183),
+    ("D", 128, 16, 128, 480, 9),
+    ("replicate", 40, 5, 200, 0, 39),
+    ("naive", 40, 5, 40, 160, 80),
+]
+
+
+@pytest.mark.parametrize(
+    "protocol,n,t,work,messages,retire", FAILURE_FREE,
+    ids=[f"{p}-n{n}-t{t}" for p, n, t, *_ in FAILURE_FREE],
+)
+def test_failure_free_golden(protocol, n, t, work, messages, retire):
+    result = run_protocol(protocol, n, t, seed=0)
+    metrics = result.metrics
+    assert result.completed
+    assert metrics.work_total == work
+    assert metrics.messages_total == messages
+    assert metrics.retire_round == retire
+
+
+def test_golden_is_seed_independent_without_adversary():
+    # Failure-free executions are fully deterministic: the seed only
+    # feeds the adversary and crash-subset draws.
+    for seed in (0, 1, 99):
+        result = run_protocol("B", 64, 16, seed=seed)
+        assert (
+            result.metrics.work_total,
+            result.metrics.messages_total,
+            result.metrics.retire_round,
+        ) == (64, 135, 105)
+
+
+def test_adversarial_golden_stable_across_runs():
+    # Same seed, same adversary: byte-identical accounting, twice.
+    def run():
+        result = run_protocol(
+            "A", 64, 16, adversary=KillActive(15, actions_before_kill=2), seed=5
+        )
+        return result.metrics.as_dict()
+
+    assert run() == run()

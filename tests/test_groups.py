@@ -1,0 +1,104 @@
+"""Unit tests for the sqrt(t) group structure."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.groups import SqrtGroups
+from repro.errors import ConfigurationError
+
+
+def test_perfect_square_matches_paper():
+    groups = SqrtGroups(16)
+    assert groups.group_size == 4
+    assert groups.num_groups == 4
+    # Paper: g_i = ceil((i+1)/sqrt(t)), 1-indexed.
+    for pid in range(16):
+        assert groups.group_of(pid) == math.ceil((pid + 1) / 4)
+
+
+def test_members_partition_processes():
+    groups = SqrtGroups(16)
+    assert groups.members(1) == [0, 1, 2, 3]
+    assert groups.members(4) == [12, 13, 14, 15]
+
+
+def test_general_t_last_group_may_be_smaller():
+    groups = SqrtGroups(10)
+    assert groups.group_size == 4
+    assert groups.num_groups == 3
+    assert groups.members(3) == [8, 9]
+
+
+def test_higher_members_are_partial_checkpoint_recipients():
+    groups = SqrtGroups(16)
+    assert groups.higher_members(5) == [6, 7]
+    assert groups.higher_members(7) == []
+    assert groups.higher_members(12) == [13, 14, 15]
+
+
+def test_lower_members():
+    groups = SqrtGroups(16)
+    assert groups.lower_members(5) == [4]
+    assert groups.lower_members(4) == []
+
+
+def test_position_in_group():
+    groups = SqrtGroups(16)
+    assert groups.position_in_group(0) == 0
+    assert groups.position_in_group(5) == 1
+    assert groups.position_in_group(15) == 3
+
+
+def test_groups_after():
+    groups = SqrtGroups(16)
+    assert groups.groups_after(1) == [2, 3, 4]
+    assert groups.groups_after(4) == []
+
+
+def test_single_process():
+    groups = SqrtGroups(1)
+    assert groups.num_groups == 1
+    assert groups.members(1) == [0]
+    assert groups.higher_members(0) == []
+
+
+def test_invalid_inputs_raise():
+    with pytest.raises(ConfigurationError):
+        SqrtGroups(0)
+    groups = SqrtGroups(9)
+    with pytest.raises(ConfigurationError):
+        groups.group_of(9)
+    with pytest.raises(ConfigurationError):
+        groups.members(0)
+    with pytest.raises(ConfigurationError):
+        groups.members(5)
+
+
+@given(st.integers(min_value=1, max_value=400))
+def test_groups_partition_every_t(t):
+    groups = SqrtGroups(t)
+    seen = []
+    for group in range(1, groups.num_groups + 1):
+        members = groups.members(group)
+        assert members, "no empty groups"
+        assert len(members) <= groups.group_size
+        seen.extend(members)
+    assert seen == list(range(t))
+
+
+@given(st.integers(min_value=1, max_value=400))
+def test_group_size_is_ceil_sqrt(t):
+    groups = SqrtGroups(t)
+    assert (groups.group_size - 1) ** 2 < t <= groups.group_size ** 2
+    assert groups.group_size * groups.num_groups >= t
+
+
+@given(st.integers(min_value=2, max_value=300), st.data())
+def test_position_consistent_with_membership(t, data):
+    groups = SqrtGroups(t)
+    pid = data.draw(st.integers(min_value=0, max_value=t - 1))
+    group = groups.group_of(pid)
+    assert groups.members(group)[groups.position_in_group(pid)] == pid

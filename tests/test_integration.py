@@ -1,0 +1,99 @@
+"""Cross-protocol integration tests: the paper's comparative claims."""
+
+import math
+
+import pytest
+
+from repro import run_protocol
+from repro.sim.adversary import KillActive, RandomCrashes
+from repro.sim.trace import Trace
+
+N, T = 144, 16
+
+
+def _worst(protocol, adversaries, seeds=range(3), n=N, t=T, **options):
+    worst = {"work": 0, "messages": 0, "rounds": 0, "effort": 0}
+    for factory in adversaries:
+        for seed in seeds:
+            result = run_protocol(protocol, n, t, adversary=factory(), seed=seed, **options)
+            assert result.completed, (protocol, seed)
+            worst["work"] = max(worst["work"], result.metrics.work_total)
+            worst["messages"] = max(worst["messages"], result.metrics.messages_total)
+            worst["rounds"] = max(worst["rounds"], result.metrics.retire_round)
+            worst["effort"] = max(worst["effort"], result.metrics.effort)
+    return worst
+
+
+ADVERSARIES = [
+    lambda: None,
+    lambda: RandomCrashes(T // 2, max_action_index=20),
+    lambda: KillActive(T - 1, actions_before_kill=2),
+]
+
+
+def test_all_protocols_beat_replicate_on_effort():
+    replicate = _worst("replicate", ADVERSARIES)
+    for protocol in ("A", "B", "C", "D"):
+        measured = _worst(protocol, ADVERSARIES)
+        assert measured["effort"] < replicate["effort"], protocol
+
+
+def test_sequential_protocols_beat_naive_checkpointer_on_messages():
+    naive = _worst("naive", ADVERSARIES, interval=1)
+    for protocol in ("A", "B", "C"):
+        measured = _worst(protocol, ADVERSARIES)
+        assert measured["messages"] < naive["messages"] / 4, protocol
+
+
+def test_c_beats_a_and_b_on_messages_for_large_t():
+    # O(t log t) < O(t sqrt t): visible once t is large enough relative to n.
+    n, t = 64, 64
+    adversaries = [lambda: KillActive(t - 1, actions_before_kill=2)]
+    a = _worst("A", adversaries, n=n, t=t)
+    c = _worst("C", adversaries, n=n, t=t)
+    assert c["messages"] < a["messages"]
+
+
+def test_d_dominates_on_time():
+    for protocol in ("A", "B", "C"):
+        sequential = _worst(protocol, [lambda: None])
+        parallel = _worst("D", [lambda: None])
+        assert parallel["rounds"] < sequential["rounds"], protocol
+
+
+def test_b_dominates_a_on_time_under_failures():
+    a = _worst("A", [lambda: KillActive(T - 1, actions_before_kill=2)])
+    b = _worst("B", [lambda: KillActive(T - 1, actions_before_kill=2)])
+    assert b["rounds"] < a["rounds"]
+
+
+def test_work_optimality_of_sequential_protocols():
+    # All three sequential protocols are work-optimal: O(n + t), here
+    # concretely within their per-theorem constants.
+    for protocol, factor in (("A", 3), ("B", 3)):
+        measured = _worst(protocol, ADVERSARIES)
+        assert measured["work"] <= factor * max(N, T)
+    c = _worst("C", ADVERSARIES)
+    assert c["work"] <= N + 2 * T
+
+
+def test_every_unit_done_exactly_once_failure_free_everywhere():
+    for protocol in ("A", "B", "D"):
+        result = run_protocol(protocol, N, T, seed=0)
+        assert result.metrics.redundant_work() == 0
+        assert result.metrics.work_total == N
+
+
+def test_takeover_chain_depth_bounded_by_crashes():
+    trace = Trace(enabled=True)
+    result = run_protocol(
+        "B", N, T, adversary=KillActive(5, actions_before_kill=3), seed=1, trace=trace
+    )
+    assert result.completed
+    assert len(trace.activations()) <= 5 + 1
+
+
+def test_same_seed_same_battery_same_numbers():
+    first = _worst("B", ADVERSARIES)
+    second = _worst("B", ADVERSARIES)
+    assert first == second

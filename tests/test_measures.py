@@ -1,0 +1,57 @@
+"""The available-processor-steps measure (Section 1.1)."""
+
+from repro import run_protocol
+from repro.sim.adversary import FixedSchedule, StaggeredWorkKills
+from repro.sim.crashes import CrashDirective
+
+
+def test_aps_counts_every_process_to_retirement():
+    # replicate: every process works n rounds (0..n-1) then halts,
+    # so APS = t * n exactly.
+    result = run_protocol("replicate", 20, 4, seed=0)
+    assert result.metrics.available_processor_steps == 4 * 20
+
+
+def test_aps_charges_idle_rounds():
+    # Protocol A failure-free: process 0 retires after ~n + checkpoints
+    # rounds, but every other process sits idle until it learns the work
+    # is done - APS far exceeds effort.
+    result = run_protocol("A", 64, 16, seed=0)
+    metrics = result.metrics
+    assert metrics.available_processor_steps > metrics.effort
+    assert metrics.available_processor_steps > 16 * 64  # t idle processes
+
+
+def test_aps_crashed_processes_charged_until_crash():
+    schedule = FixedSchedule([CrashDirective(pid=1, at_round=0)])
+    result = run_protocol("replicate", 10, 2, adversary=schedule, seed=0)
+    # p0: rounds 0..9 (10 steps); p1: charged round 0 only (1 step).
+    assert result.metrics.available_processor_steps == 10 + 1
+
+
+def test_protocol_d_aps_near_optimal():
+    n, t = 128, 16
+    result = run_protocol("D", n, t, seed=0)
+    metrics = result.metrics
+    # Everyone retires by n/t + 2 rounds: APS <= t * (n/t + 2).
+    assert metrics.available_processor_steps <= t * (n // t + 2)
+
+
+def test_protocol_c_aps_astronomical_under_crashes():
+    # Failure-free, knowledge spreads and deadlines stay short; but when
+    # the knowledgeable processes keep dying, the survivors' low reduced
+    # views mean exponentially long waits - APS explodes while effort
+    # stays tiny (the Section 1.1 contrast).
+    from repro.sim.adversary import KillActive
+
+    result = run_protocol(
+        "C", 32, 8, adversary=KillActive(7, actions_before_kill=3), seed=0
+    )
+    metrics = result.metrics
+    assert metrics.available_processor_steps > 10 ** 6
+    assert metrics.effort < 10 ** 3
+
+
+def test_aps_appears_in_summary():
+    result = run_protocol("D", 16, 4, seed=0)
+    assert "available_processor_steps" in result.metrics.as_dict()

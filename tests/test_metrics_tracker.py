@@ -1,0 +1,108 @@
+"""Tests for the metrics tally and the work tracker."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.actions import Envelope, MessageKind
+from repro.sim.metrics import Metrics
+from repro.work.tracker import WorkTracker
+
+# ---- Metrics ---------------------------------------------------------
+
+
+def _env(src=0, dst=1, kind=MessageKind.CONTROL, rnd=3):
+    return Envelope(src=src, dst=dst, payload=(), kind=kind, sent_round=rnd)
+
+
+def test_effort_is_work_plus_messages():
+    metrics = Metrics()
+    metrics.record_work(0, 1, 1)
+    metrics.record_work(1, 1, 2)
+    metrics.record_send(_env())
+    assert metrics.work_total == 2
+    assert metrics.messages_total == 1
+    assert metrics.effort == 3
+
+
+def test_redundant_work_counts_repeats_only():
+    metrics = Metrics()
+    for _ in range(3):
+        metrics.record_work(0, 7, 1)
+    metrics.record_work(0, 8, 2)
+    assert metrics.redundant_work() == 2
+    assert metrics.distinct_units_done() == 2
+
+
+def test_messages_by_kind():
+    metrics = Metrics()
+    metrics.record_send(_env(kind=MessageKind.POLL))
+    metrics.record_send(_env(kind=MessageKind.POLL))
+    metrics.record_send(_env(kind=MessageKind.ORDINARY))
+    assert metrics.messages_of(MessageKind.POLL) == 2
+    assert metrics.messages_of(MessageKind.ORDINARY) == 1
+    assert metrics.messages_of(MessageKind.GO_AHEAD) == 0
+
+
+def test_as_dict_round_trips_scalars():
+    metrics = Metrics()
+    metrics.record_work(0, 1, 5)
+    metrics.record_send(_env(rnd=9))
+    data = metrics.as_dict()
+    assert data["work"] == 1
+    assert data["messages"] == 1
+    assert data["effort"] == 2
+
+
+# ---- WorkTracker ---------------------------------------------------------
+
+
+def test_tracker_completion():
+    tracker = WorkTracker(3)
+    assert not tracker.all_done()
+    tracker.record(0, 1, 1)
+    tracker.record(0, 2, 2)
+    assert tracker.missing_units() == [3]
+    tracker.record(1, 3, 4)
+    assert tracker.all_done()
+    assert tracker.completion_round() == 4
+
+
+def test_tracker_multiplicity_and_first():
+    tracker = WorkTracker(2)
+    tracker.record(0, 1, 3)
+    tracker.record(1, 1, 9)
+    assert tracker.times_done(1) == 2
+    assert tracker.redundant_executions() == 1
+    assert tracker.first_execution(1) == (3, 0)
+    assert tracker.max_multiplicity() == 2
+
+
+def test_tracker_rejects_out_of_range_units():
+    tracker = WorkTracker(2)
+    with pytest.raises(ConfigurationError):
+        tracker.record(0, 0, 1)
+    with pytest.raises(ConfigurationError):
+        tracker.record(0, 3, 1)
+
+
+def test_tracker_rejects_negative_n():
+    with pytest.raises(ConfigurationError):
+        WorkTracker(-1)
+
+
+def test_empty_tracker_is_complete():
+    tracker = WorkTracker(0)
+    assert tracker.all_done()
+    assert tracker.completion_round() is None or tracker.completion_round() == 0
+
+
+@given(st.lists(st.integers(min_value=1, max_value=20), max_size=200))
+def test_tracker_totals_are_consistent(units):
+    tracker = WorkTracker(20)
+    for index, unit in enumerate(units):
+        tracker.record(0, unit, index)
+    assert tracker.total_executions() == len(units)
+    assert tracker.total_executions() - tracker.redundant_executions() == len(set(units))
+    assert tracker.all_done() == (len(set(units)) == 20)

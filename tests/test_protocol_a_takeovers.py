@@ -1,0 +1,169 @@
+"""Engine-level takeover scenarios for Protocol A: crash the active
+process at each distinct phase of its checkpointing cycle and verify the
+successor resumes correctly (the DoWork dispatch of Section 2.1)."""
+
+import pytest
+
+from repro.core.chunks import SubchunkPlan
+from repro.core.groups import SqrtGroups
+from repro.core.protocol_a import build_protocol_a
+from repro.sim.actions import MessageKind
+from repro.sim.adversary import FixedSchedule
+from repro.sim.crashes import CrashDirective, CrashPhase
+from repro.sim.engine import Engine
+from repro.sim.trace import Trace
+from repro.work.tracker import WorkTracker
+
+N, T = 160, 16  # 16 subchunks of 10 units; chunks of 4 subchunks
+GROUPS = SqrtGroups(T)
+PLAN = SubchunkPlan(N, T, GROUPS.group_size)
+
+
+def _run(directives, seed=0):
+    trace = Trace(enabled=True)
+    processes = build_protocol_a(N, T)
+    tracker = WorkTracker(N)
+    engine = Engine(
+        processes,
+        tracker=tracker,
+        adversary=FixedSchedule(directives),
+        seed=seed,
+        strict_invariants=True,
+        trace=trace,
+    )
+    result = engine.run()
+    return result, trace, tracker
+
+
+def _work_rounds_of(trace, pid):
+    return [event for event in trace.of_kind("work") if event.pid == pid]
+
+
+def test_crash_mid_subchunk_redoes_at_most_one_subchunk():
+    # Process 0's round 0 is the fictitious-echo broadcast; it works
+    # units 1..10 in rounds 1..10.  Crash at round 4 = after unit 4,
+    # nothing checkpointed yet.
+    result, trace, tracker = _run(
+        [CrashDirective(pid=0, at_round=4, phase=CrashPhase.AFTER_WORK)]
+    )
+    assert result.completed
+    # Units 1..4 are executed twice (0 died unreported), the rest once.
+    for unit in range(1, 5):
+        assert tracker.times_done(unit) == 2
+    for unit in range(5, N + 1):
+        assert tracker.times_done(unit) == 1
+
+
+def test_crash_right_after_partial_checkpoint_redoes_nothing():
+    # Round 11 is the partial checkpoint of subchunk 1; let it complete
+    # (AFTER_ACTION), so the successor resumes from subchunk 2 exactly.
+    result, trace, tracker = _run(
+        [CrashDirective(pid=0, at_round=11, phase=CrashPhase.AFTER_ACTION)]
+    )
+    assert result.completed
+    assert tracker.redundant_executions() == 0
+    # Successor is process 1, and its first work unit is 11.
+    p1_work = _work_rounds_of(trace, 1)
+    assert p1_work[0].detail == 11
+
+
+def test_crash_during_partial_checkpoint_subset():
+    # The partial checkpoint of subchunk 1 reaches only process 3; 1 and
+    # 2 miss it.  Process 1 takes over with the *fictitious* knowledge
+    # and redoes subchunk 1; the bound of one redone subchunk holds.
+    result, trace, tracker = _run(
+        [
+            CrashDirective(
+                pid=0,
+                at_round=11,
+                phase=CrashPhase.DURING_SEND,
+                keep=frozenset({3}),
+            )
+        ]
+    )
+    assert result.completed
+    assert tracker.redundant_executions() <= PLAN.subchunk_size_bound()
+
+
+def test_crash_during_full_checkpoint_sweep_resumes_sweep():
+    # Let process 0 finish chunk 1 (subchunks 1..4 = rounds 0..43
+    # including partial checkpoints), then crash it mid full-checkpoint
+    # sweep after informing group 2 but not groups 3 and 4.
+    # Work: 40 rounds; partials: 4; full cp starts after round 43.
+    # Full cp order: grp2, echo, grp3, echo, grp4, echo.
+    result, trace, tracker = _run(
+        [CrashDirective(pid=0, at_round=45, phase=CrashPhase.BEFORE_ACTION)]
+    )
+    assert result.completed
+    # Successor completes the sweep: groups 3 and 4 eventually receive a
+    # full checkpoint for subchunk 4.
+    full_cp_to_g3 = [
+        event
+        for event in trace.of_kind("send")
+        if event.detail[0] == MessageKind.FULL_CHECKPOINT.value
+        and event.detail[2] == ("full", 4, 3)
+    ]
+    assert full_cp_to_g3, "the interrupted sweep was resumed"
+    assert tracker.redundant_executions() <= 2 * PLAN.subchunk_size_bound()
+
+
+def test_double_takeover_within_one_group():
+    # Kill 0 and then 1 immediately after activation; 2 must take over
+    # third, in order, and the invariant work <= 3n' still holds.
+    result, trace, tracker = _run(
+        [
+            CrashDirective(pid=0, at_round=15, phase=CrashPhase.AFTER_WORK),
+            CrashDirective(pid=1, at_round=200, phase=CrashPhase.AFTER_WORK),
+        ]
+    )
+    assert result.completed
+    pids = [pid for _, pid in trace.activations()]
+    assert pids[:3] == [0, 1, 2]
+    assert result.metrics.work_total <= 3 * N
+
+
+def test_cross_group_takeover_gets_full_checkpoint_knowledge():
+    # Kill everyone in group 1 after chunk 1's full checkpoint went out;
+    # process 4 (group 2) takes over knowing subchunk 4 is complete, so
+    # units 1..40 are never redone.
+    directives = [
+        CrashDirective(pid=0, at_round=60, phase=CrashPhase.BEFORE_ACTION),
+        CrashDirective(pid=1, at_round=60, phase=CrashPhase.BEFORE_ACTION),
+        CrashDirective(pid=2, at_round=60, phase=CrashPhase.BEFORE_ACTION),
+        CrashDirective(pid=3, at_round=60, phase=CrashPhase.BEFORE_ACTION),
+    ]
+    result, trace, tracker = _run(directives)
+    assert result.completed
+    for unit in range(1, 41):
+        assert tracker.times_done(unit) == 1, unit
+    pids = [pid for _, pid in trace.activations()]
+    assert pids == [0, 4]
+
+
+def test_terminal_checkpoint_crash_still_terminates_everyone():
+    # Crash process 0 during the very last full checkpoint: some group
+    # never hears (t); its first member takes over, finishes the sweep,
+    # and every process still retires.
+    # Find the terminal sweep empirically: run clean first.
+    clean_trace = Trace(enabled=True)
+    processes = build_protocol_a(N, T)
+    Engine(processes, tracker=WorkTracker(N), trace=clean_trace).run()
+    terminal_sends = [
+        event
+        for event in clean_trace.of_kind("send")
+        if event.detail[2][1] == PLAN.num_subchunks
+    ]
+    crash_round = terminal_sends[0].round
+    result, trace, tracker = _run(
+        [
+            CrashDirective(
+                pid=0,
+                at_round=crash_round,
+                phase=CrashPhase.DURING_SEND,
+                keep=frozenset(),
+            )
+        ]
+    )
+    assert result.completed
+    assert result.halted == T - 1
+    assert result.metrics.work_total <= 3 * N

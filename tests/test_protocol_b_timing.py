@@ -1,0 +1,163 @@
+"""Fine-grained timing tests for Protocol B's deadline machinery.
+
+These pin down the behaviours the Section 2.4 proof depends on: the gap
+between messages an inactive process hears is within PTO/GTO, preactive
+go-ahead pacing is PTO rounds, and responses arrive before the next tick.
+"""
+
+from repro.core.deadlines import ProtocolBDeadlines
+from repro.core.protocol_b import ProtocolBProcess, build_protocol_b
+from repro.sim.actions import MessageKind
+from repro.sim.adversary import FixedSchedule, KillActive
+from repro.sim.crashes import CrashDirective
+from repro.sim.engine import Engine
+from repro.sim.trace import Trace
+from repro.work.tracker import WorkTracker
+
+N, T = 64, 16
+
+
+def _run(adversary=None, n=N, t=T, seed=0):
+    trace = Trace(enabled=True)
+    processes = build_protocol_b(n, t)
+    tracker = WorkTracker(n)
+    engine = Engine(
+        processes,
+        tracker=tracker,
+        adversary=adversary,
+        seed=seed,
+        strict_invariants=True,
+        trace=trace,
+    )
+    result = engine.run()
+    return result, trace, processes
+
+
+def test_same_group_gap_within_pto():
+    """While the active process works, its group members hear a message
+    at least every PTO - 1 stamp rounds (the definition of PTO)."""
+    result, trace, processes = _run()
+    dl = ProtocolBDeadlines(n=N, t=T)
+    # Collect stamps of messages from process 0 to process 1 (same group).
+    stamps = [
+        event.round
+        for event in trace.of_kind("send")
+        if event.pid == 0 and event.detail[1] == 1
+    ]
+    assert stamps, "process 1 heard from the leader"
+    gaps = [b - a for a, b in zip(stamps, stamps[1:])]
+    assert all(gap <= dl.PTO - 1 for gap in gaps), (gaps, dl.PTO)
+
+
+def test_goahead_pacing_is_pto():
+    # Crash the whole first group mid-execution; the first preactive
+    # process of group 2 polls its group-mates PTO rounds apart.
+    group_size = 4
+    directives = [
+        CrashDirective(pid=pid, at_round=9) for pid in range(group_size)
+    ]
+    result, trace, _ = _run(adversary=FixedSchedule(directives), seed=1)
+    assert result.completed
+    dl = ProtocolBDeadlines(n=N, t=T)
+    goaheads = [
+        event
+        for event in trace.of_kind("send")
+        if event.detail[0] == MessageKind.GO_AHEAD.value
+    ]
+    by_sender = {}
+    for event in goaheads:
+        by_sender.setdefault(event.pid, []).append(event.round)
+    for sender, stamps in by_sender.items():
+        gaps = [b - a for a, b in zip(stamps, stamps[1:])]
+        assert all(gap == dl.PTO for gap in gaps), (sender, stamps)
+
+
+def test_goahead_targets_ascend_within_group():
+    group_size = 4
+    directives = [CrashDirective(pid=pid, at_round=9) for pid in range(group_size)]
+    result, trace, _ = _run(adversary=FixedSchedule(directives), seed=1)
+    goahead_targets = [
+        (event.pid, event.detail[1])
+        for event in trace.of_kind("send")
+        if event.detail[0] == MessageKind.GO_AHEAD.value
+    ]
+    for sender, target in goahead_targets:
+        assert target < sender
+        # Same group:
+        assert target // group_size == sender // group_size
+
+
+def test_goahead_response_arrives_within_two_rounds():
+    # Crash only process 0; process 1..3 remain; whoever goes preactive
+    # first will wake a live lower neighbour, which must respond (its
+    # first DoWork action is a broadcast) within 2 stamp rounds.
+    result, trace, _ = _run(adversary=FixedSchedule([CrashDirective(0, 9)]), seed=2)
+    assert result.completed
+    goaheads = [
+        event
+        for event in trace.of_kind("send")
+        if event.detail[0] == MessageKind.GO_AHEAD.value
+    ]
+    sends = trace.of_kind("send")
+    for goahead in goaheads:
+        target = goahead.detail[1]
+        # The target's first broadcast at or after the go-ahead stamp (a
+        # target whose own deadline fires the same round responds with
+        # stamp equal to the go-ahead's - even earlier than the paper's
+        # "within one round").
+        responses = [
+            event
+            for event in sends
+            if event.pid == target and event.round >= goahead.round
+        ]
+        if responses:
+            assert responses[0].round <= goahead.round + 1
+
+
+def test_activation_within_tt_of_last_message():
+    """Takeover latency: a process that becomes active does so within
+    TT(j, i) rounds of its last ordinary message (the transition-time
+    guarantee the Section 2.4 analysis builds on)."""
+    result, trace, processes = _run(
+        adversary=KillActive(8, actions_before_kill=2), seed=3
+    )
+    assert result.completed
+    dl = ProtocolBDeadlines(n=N, t=T)
+    activations = dict((pid, rnd) for rnd, pid in trace.activations())
+    # Reconstruct each activated process's last ordinary receipt.
+    ordinary_kinds = (
+        MessageKind.PARTIAL_CHECKPOINT.value,
+        MessageKind.FULL_CHECKPOINT.value,
+    )
+    for pid, act_round in activations.items():
+        if pid == 0:
+            continue
+        heard = [
+            (event.round, event.pid)
+            for event in trace.of_kind("send")
+            if event.detail[0] in ordinary_kinds
+            and event.detail[1] == pid
+            and event.round < act_round
+        ]
+        if not heard:
+            continue
+        last_round, last_sender = max(heard)
+        assert act_round - last_round <= dl.TT(pid, last_sender) + dl.slack, (
+            pid,
+            act_round,
+            last_round,
+            last_sender,
+        )
+
+
+def test_pto_scales_with_subchunk_size():
+    small = ProtocolBDeadlines(n=16, t=16, slack=0)
+    large = ProtocolBDeadlines(n=1600, t=16, slack=0)
+    assert small.PTO == 1 + 2
+    assert large.PTO == 100 + 2
+
+
+def test_process_zero_active_immediately():
+    processes = build_protocol_b(8, 4)
+    assert processes[0].wake_round() == 0
+    assert processes[1].wake_round() > 0

@@ -1,0 +1,145 @@
+"""Empirical checks of Protocol C's knowledge lemmas (Lemma 3.4).
+
+The correctness proof rests on knowledge-ordering invariants.  These
+tests observe live executions through a probe adversary (which issues no
+crashes of its own unless configured) and assert the invariants at every
+activation:
+
+* (c)-part 1: the newly active process knows at least as much as every
+  inactive non-retired process;
+* (c)-part 2: "knows more" agrees with the reduced-view comparison;
+* at most one active process at any time (also enforced by the engine's
+  strict mode, double-checked here through the probe).
+"""
+
+from typing import Dict, List
+
+from repro.core.protocol_c import ProtocolCProcess
+from repro.core.registry import build_processes
+from repro.sim.actions import Action
+from repro.sim.adversary import Adversary, KillActive, RandomCrashes
+from repro.sim.crashes import CrashDirective
+from repro.sim.engine import Engine
+from repro.work.tracker import WorkTracker
+
+
+class ViewOrderProbe(Adversary):
+    """Wraps another adversary; checks Lemma 3.4 at every round."""
+
+    def __init__(self, inner=None):
+        self.inner = inner
+        self.violations: List[str] = []
+        self._previously_active: set = set()
+
+    def bind(self, engine):
+        super().bind(engine)
+        if self.inner is not None:
+            self.inner.bind(engine)
+
+    def decide(self, round_number, actions, engine):
+        self._check(round_number, engine)
+        if self.inner is not None:
+            return self.inner.decide(round_number, actions, engine)
+        return []
+
+    def _check(self, round_number, engine):
+        live = [p for p in engine.processes if not p.retired]
+        actives = [p for p in live if p.is_active]
+        if len(actives) > 1:
+            self.violations.append(
+                f"r{round_number}: {len(actives)} active processes"
+            )
+            return
+        for active in actives:
+            if active.pid in self._previously_active:
+                continue
+            self._previously_active.add(active.pid)
+            for other in live:
+                if other.pid == active.pid or other.is_active:
+                    continue
+                if not active.view.knows_at_least(other.view):
+                    self.violations.append(
+                        f"r{round_number}: new active {active.pid} knows less "
+                        f"than inactive {other.pid}"
+                    )
+                if active.reduced_view() < other.reduced_view():
+                    self.violations.append(
+                        f"r{round_number}: new active {active.pid} has smaller "
+                        f"reduced view than {other.pid}"
+                    )
+
+
+def _run_with_probe(n, t, inner, seed):
+    processes = build_processes("C", n, t)
+    probe = ViewOrderProbe(inner)
+    tracker = WorkTracker(n)
+    engine = Engine(
+        processes, tracker=tracker, adversary=probe, seed=seed,
+        strict_invariants=True,
+    )
+    result = engine.run()
+    return result, probe
+
+
+def test_new_active_is_most_knowledgeable_failure_free():
+    result, probe = _run_with_probe(24, 8, None, seed=1)
+    assert result.completed
+    assert probe.violations == []
+
+
+def test_new_active_is_most_knowledgeable_under_kills():
+    for seed in range(4):
+        result, probe = _run_with_probe(
+            24, 8, KillActive(7, actions_before_kill=3), seed=seed
+        )
+        assert result.completed
+        assert probe.violations == [], probe.violations
+
+
+def test_new_active_is_most_knowledgeable_random():
+    for seed in range(6):
+        result, probe = _run_with_probe(
+            16, 8, RandomCrashes(6, max_action_index=12), seed=seed
+        )
+        assert result.completed
+        assert probe.violations == [], (seed, probe.violations)
+
+
+def test_reduced_view_monotone_per_process():
+    """A process's reduced view never decreases (views only merge up)."""
+
+    class MonotoneProbe(Adversary):
+        def __init__(self):
+            self.last: Dict[int, int] = {}
+            self.violations: List[str] = []
+
+        def decide(self, round_number, actions, engine):
+            for process in engine.processes:
+                if not isinstance(process, ProtocolCProcess) or process.retired:
+                    continue
+                current = process.reduced_view()
+                previous = self.last.get(process.pid, -1)
+                if current < previous:
+                    self.violations.append(
+                        f"r{round_number}: p{process.pid} {previous}->{current}"
+                    )
+                self.last[process.pid] = current
+            return []
+
+    processes = build_processes("C", 16, 8)
+    probe = MonotoneProbe()
+    engine = Engine(
+        processes, tracker=WorkTracker(16), adversary=probe, seed=3,
+        strict_invariants=True,
+    )
+    result = engine.run()
+    assert result.completed
+    assert probe.violations == []
+
+
+def test_self_never_in_own_faulty_set():
+    processes = build_processes("C", 16, 8)
+    engine = Engine(processes, tracker=WorkTracker(16), seed=4)
+    engine.run()
+    for process in processes:
+        assert process.pid not in process.view.faulty

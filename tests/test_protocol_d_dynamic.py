@@ -1,0 +1,122 @@
+"""Dynamic-workload Protocol D (Section 4 remark / patent [9]).
+
+Guarantee tested: every unit that arrives at a site that never crashes
+is eventually performed.  (A unit whose only knowing site crashes before
+reporting it is unrecoverable in this model - no other process ever
+learns it exists - exactly as a process crashing before any observable
+action is unrecoverable in the static model.)
+"""
+
+import pytest
+
+from repro.core.protocol_d_dynamic import (
+    ArrivalSchedule,
+    build_dynamic_protocol_d,
+    uniform_arrivals,
+)
+from repro.errors import ConfigurationError
+from repro.sim.adversary import FixedSchedule, RandomCrashes, StaggeredWorkKills
+from repro.sim.crashes import CrashDirective
+from repro.sim.engine import Engine
+from repro.work.tracker import WorkTracker
+
+
+def _run(n=48, t=8, every=2, cycle=12, adversary=None, seed=0):
+    schedule = uniform_arrivals(n, t, every=every)
+    processes = build_dynamic_protocol_d(t, schedule, cycle_length=cycle)
+    tracker = WorkTracker(n)
+    engine = Engine(processes, tracker=tracker, adversary=adversary, seed=seed)
+    result = engine.run()
+    return result, processes, tracker, schedule
+
+
+def test_failure_free_completes_everything_exactly_once():
+    result, _, tracker, _ = _run()
+    assert result.completed
+    assert tracker.redundant_executions() == 0
+
+
+def test_nobody_knows_the_pool_initially():
+    schedule = uniform_arrivals(10, 4, every=5)
+    processes = build_dynamic_protocol_d(4, schedule)
+    assert all(not p.known for p in processes)
+
+
+def test_arrivals_propagate_through_agreement():
+    result, processes, _, schedule = _run()
+    assert result.completed
+    for process in processes:
+        assert process.known == set(schedule.units)
+
+
+def test_late_arrivals_trigger_additional_cycles():
+    # A single unit arriving long after the first pool drains.
+    arrivals = [(0, 0, 1), (0, 1, 2), (200, 2, 3)]
+    schedule = ArrivalSchedule(arrivals)
+    processes = build_dynamic_protocol_d(4, schedule, cycle_length=8)
+    tracker = WorkTracker(3)
+    result = Engine(processes, tracker=tracker, seed=1).run()
+    assert result.completed
+    assert tracker.first_execution(3)[0] >= 200
+
+
+def test_units_at_surviving_sites_always_complete():
+    for seed in range(8):
+        result, processes, tracker, schedule = _run(
+            adversary=RandomCrashes(4, max_action_index=15), seed=seed
+        )
+        crashed = {p.pid for p in processes if p.crashed}
+        recoverable = {
+            unit for rnd, site, unit in schedule.arrivals if site not in crashed
+        }
+        missing = set(tracker.missing_units())
+        assert not (recoverable & missing), (seed, sorted(recoverable & missing))
+
+
+def test_share_of_crashed_worker_is_reassigned():
+    # Site 2 crashes mid-work-phase; its assigned units must still finish
+    # because its completion report never merged.
+    result, processes, tracker, schedule = _run(
+        adversary=StaggeredWorkKills.plan([(2, 1)]), seed=3
+    )
+    crashed = {p.pid for p in processes if p.crashed}
+    assert crashed == {2}
+    recoverable = {
+        unit for rnd, site, unit in schedule.arrivals if site not in crashed
+    }
+    assert not (recoverable & set(tracker.missing_units()))
+
+
+def test_all_live_processes_halt():
+    result, processes, _, _ = _run(
+        adversary=RandomCrashes(3, max_action_index=10), seed=5
+    )
+    assert all(p.halted for p in processes if not p.crashed)
+
+
+def test_duplicate_unit_arrival_rejected():
+    with pytest.raises(ConfigurationError):
+        ArrivalSchedule([(0, 0, 1), (3, 1, 1)])
+
+
+def test_cycle_length_validated():
+    schedule = uniform_arrivals(4, 2)
+    with pytest.raises(ConfigurationError):
+        build_dynamic_protocol_d(2, schedule, cycle_length=2)
+
+
+def test_empty_schedule_halts_immediately():
+    schedule = ArrivalSchedule([])
+    processes = build_dynamic_protocol_d(4, schedule)
+    result = Engine(processes, tracker=WorkTracker(0), seed=1).run()
+    assert result.completed
+    assert all(p.halted for p in processes)
+
+
+def test_work_conservation_no_unit_done_before_arrival():
+    result, _, tracker, schedule = _run(every=4)
+    assert result.completed
+    arrival_round = {unit: rnd for rnd, _, unit in schedule.arrivals}
+    for unit in schedule.units:
+        first = tracker.first_execution(unit)
+        assert first is not None and first[0] >= arrival_round[unit]

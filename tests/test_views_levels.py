@@ -1,0 +1,206 @@
+"""Tests for Protocol C's level hierarchy and knowledge views."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.levels import LevelStructure, cyclic_successor
+from repro.core.views import View
+from repro.errors import ConfigurationError
+
+# ---- LevelStructure ---------------------------------------------------------
+
+
+def test_power_of_two_structure_matches_paper():
+    levels = LevelStructure(8)
+    assert levels.T == 8 and levels.num_levels == 3
+    # level log t: t/2 groups of size 2 ... level 1: one group of size t.
+    assert levels.group_size(3) == 2 and levels.num_groups(3) == 4
+    assert levels.group_size(2) == 4 and levels.num_groups(2) == 2
+    assert levels.group_size(1) == 8 and levels.num_groups(1) == 1
+
+
+def test_each_process_in_exactly_one_group_per_level():
+    levels = LevelStructure(16)
+    for level in range(1, levels.num_levels + 1):
+        seen = []
+        for index in range(levels.num_groups(level)):
+            seen.extend(levels.members((level, index)))
+        assert seen == list(range(16))
+
+
+def test_nested_groups():
+    levels = LevelStructure(8)
+    # A level h+1 group is contained in the level h group of its members.
+    for pid in range(8):
+        for level in range(1, levels.num_levels):
+            outer = set(levels.members_of(pid, level))
+            inner = set(levels.members_of(pid, level + 1))
+            assert inner <= outer
+
+
+def test_padding_for_non_power_of_two():
+    levels = LevelStructure(6)
+    assert levels.T == 8
+    assert levels.virtual_pids == [6, 7]
+
+
+def test_t_one_still_has_a_level():
+    levels = LevelStructure(1)
+    assert levels.T == 2 and levels.num_levels == 1
+    assert levels.virtual_pids == [1]
+
+
+def test_all_keys_count():
+    levels = LevelStructure(16)
+    # 2 + 4 + 8 = T/2 + ... = T - 1 ... for T=16: 8+4+2+1 = 15 groups.
+    assert len(levels.all_keys()) == 15
+
+
+def test_invalid_levels_raise():
+    levels = LevelStructure(8)
+    with pytest.raises(ConfigurationError):
+        levels.group_size(0)
+    with pytest.raises(ConfigurationError):
+        levels.group_size(4)
+    with pytest.raises(ConfigurationError):
+        levels.members((1, 5))
+
+
+# ---- cyclic_successor ----------------------------------------------------------
+
+
+def test_successor_from_none_is_first_candidate():
+    assert cyclic_successor([0, 1, 2, 3], None, {0}) == 1
+
+
+def test_successor_wraps_cyclically():
+    assert cyclic_successor([4, 5, 6, 7], 7, set()) == 4
+    assert cyclic_successor([4, 5, 6, 7], 5, {6}) == 7
+
+
+def test_successor_skips_excluded():
+    assert cyclic_successor([0, 1, 2, 3], 0, {1, 2}) == 3
+    assert cyclic_successor([0, 1, 2, 3], 3, {0}) == 1
+
+
+def test_successor_none_when_exhausted():
+    assert cyclic_successor([0, 1], 0, {0, 1}) is None
+
+
+@given(
+    st.integers(min_value=1, max_value=5).map(lambda k: 2 ** k),
+    st.data(),
+)
+def test_successor_cycles_through_all_candidates(size, data):
+    members = list(range(size))
+    excluded = set(data.draw(st.lists(st.sampled_from(members), max_size=size - 1)))
+    candidates = [m for m in members if m not in excluded]
+    current = None
+    visited = []
+    for _ in candidates:
+        current = cyclic_successor(members, current, excluded)
+        visited.append(current)
+    assert sorted(visited) == candidates  # visits everyone exactly once
+
+
+# ---- View ----------------------------------------------------------------------
+
+
+def _view(faulty=(), last=None, work_next=1, work_round=0):
+    view = View(work_next=work_next, work_round=work_round)
+    view.add_faulty(faulty)
+    for key, entry in (last or {}).items():
+        view.last_informed[key] = entry
+    return view
+
+
+def test_merge_unions_faults():
+    a = _view(faulty={1})
+    b = _view(faulty={2, 3})
+    assert a.merge(b)
+    assert a.faulty == {1, 2, 3}
+
+
+def test_merge_takes_later_report():
+    a = _view(last={(1, 0): (3, 5)})
+    b = _view(last={(1, 0): (6, 9)})
+    a.merge(b)
+    assert a.last_informed[(1, 0)] == (6, 9)
+    # Merging an older report back changes nothing.
+    assert not a.merge(_view(last={(1, 0): (2, 1)}))
+
+
+def test_merge_advances_work_pointer_monotonically():
+    a = _view(work_next=5, work_round=10)
+    a.merge(_view(work_next=3, work_round=4))
+    assert a.work_next == 5 and a.work_round == 10
+    a.merge(_view(work_next=9, work_round=12))
+    assert a.work_next == 9 and a.work_round == 12
+
+
+def test_reduced_view_excludes_virtual_processes():
+    view = _view(faulty={1, 2, 9, 10}, work_next=4)
+    assert view.reduced(real_t=8) == 3 + 2  # units 3 + real faults {1,2}
+
+
+def test_knows_at_least_is_reflexive_and_respects_merge():
+    a = _view(faulty={1}, last={(1, 0): (3, 5)}, work_next=2, work_round=1)
+    b = _view(faulty={2}, last={(1, 0): (4, 7), (2, 1): (0, 2)}, work_next=3, work_round=2)
+    assert a.knows_at_least(a)
+    assert not a.knows_at_least(b)
+    a.merge(b)
+    assert a.knows_at_least(b)
+
+
+def test_copy_is_independent():
+    a = _view(faulty={1}, last={(1, 0): (3, 5)})
+    b = a.copy()
+    b.add_faulty({9})
+    b.last_informed[(1, 0)] = (4, 6)
+    assert a.faulty == {1}
+    assert a.last_informed[(1, 0)] == (3, 5)
+
+
+# Hypothesis: merge is a join (commutative, idempotent, monotone).
+
+_keys = st.tuples(st.integers(1, 3), st.integers(0, 3))
+_views = st.builds(
+    lambda faulty, last, wn, wr: _view(faulty, last, wn, wr),
+    st.sets(st.integers(0, 10), max_size=5),
+    st.dictionaries(_keys, st.tuples(st.integers(0, 10), st.integers(0, 50)), max_size=4),
+    st.integers(1, 20),
+    st.integers(0, 50),
+)
+
+
+def _snapshot(view):
+    return (
+        frozenset(view.faulty),
+        frozenset(view.last_informed.items()),
+        view.work_next,
+        view.work_round,
+    )
+
+
+@given(_views, _views)
+def test_merge_commutative(x, y):
+    a, b = x.copy(), y.copy()
+    a.merge(y)
+    b.merge(x)
+    assert _snapshot(a) == _snapshot(b)
+
+
+@given(_views)
+def test_merge_idempotent(x):
+    a = x.copy()
+    assert not a.merge(x.copy())
+    assert _snapshot(a) == _snapshot(x)
+
+
+@given(_views, _views)
+def test_merge_result_dominates_both(x, y):
+    a = x.copy()
+    a.merge(y)
+    assert a.knows_at_least(x)
+    assert a.knows_at_least(y)
