@@ -30,6 +30,21 @@ def test_engine_scaling_protocol_c_exponential_rounds(benchmark):
     benchmark.extra_info["virtual_rounds"] = float(result.metrics.retire_round)
 
 
+def test_engine_scaling_t4096(benchmark):
+    """Large process count: the event-indexed scheduler keeps cost at
+    O(actions * log t) where the seed engine's per-round O(t) rescans made
+    this scenario take ~85s (now a few seconds)."""
+    result = benchmark.pedantic(
+        lambda: run_protocol(
+            "A", 4096, 4096, adversary=RandomCrashes(1024, max_action_index=25), seed=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.completed
+    benchmark.extra_info["virtual_rounds"] = float(result.metrics.retire_round)
+
+
 def test_engine_scaling_large_d(benchmark):
     result = benchmark(
         lambda: run_protocol(

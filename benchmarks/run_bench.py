@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Standalone engine benchmark runner (no pytest dependency).
+
+Times a handful of representative simulation scenarios and writes a
+machine-readable ``BENCH_engine.json`` at the repo root so successive
+PRs can track the performance trajectory of the synchronous engine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full run
+    PYTHONPATH=src python benchmarks/run_bench.py --smoke    # tiny sizes
+    PYTHONPATH=src python benchmarks/run_bench.py --out /tmp/bench.json
+
+Exits nonzero if any scenario crashes or produces an incomplete run, so
+a smoke invocation can be wired into CI / the test suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.registry import run_protocol  # noqa: E402
+from repro.sim.adversary import KillActive, RandomCrashes  # noqa: E402
+
+
+def _scenarios(smoke: bool):
+    """(name, callable) pairs; callables return a RunResult.
+
+    The full set mirrors ``bench_engine_scaling.py`` plus a large-``t``
+    scenario (t = 4096) that exercises the event-indexed scheduler where
+    the seed engine's per-round O(t) rescans used to dominate.
+    """
+    if smoke:
+        return [
+            (
+                "A_small",
+                lambda: run_protocol(
+                    "A", 64, 8, adversary=RandomCrashes(4, max_action_index=10), seed=1
+                ),
+            ),
+            (
+                "C_exponential_rounds_small",
+                lambda: run_protocol(
+                    "C", 16, 4, adversary=KillActive(3, actions_before_kill=2), seed=1
+                ),
+            ),
+            (
+                "D_small",
+                lambda: run_protocol(
+                    "D", 64, 8, adversary=RandomCrashes(3, max_action_index=10), seed=1
+                ),
+            ),
+        ]
+    return [
+        (
+            "A_n4096_t64",
+            lambda: run_protocol(
+                "A", 4096, 64, adversary=RandomCrashes(32, max_action_index=25), seed=1
+            ),
+        ),
+        (
+            "C_exponential_rounds",
+            lambda: run_protocol(
+                "C", 64, 16, adversary=KillActive(15, actions_before_kill=2), seed=1
+            ),
+        ),
+        (
+            "D_n4096_t64",
+            lambda: run_protocol(
+                "D", 4096, 64, adversary=RandomCrashes(20, max_action_index=30), seed=1
+            ),
+        ),
+        (
+            "A_n4096_t4096",
+            lambda: run_protocol(
+                "A",
+                4096,
+                4096,
+                adversary=RandomCrashes(1024, max_action_index=25),
+                seed=1,
+            ),
+        ),
+    ]
+
+
+def run(smoke: bool, repeat: int, out_path: Path) -> int:
+    results = []
+    failures = 0
+    for name, scenario in _scenarios(smoke):
+        timings = []
+        result = None
+        try:
+            for _ in range(repeat):
+                start = time.perf_counter()
+                result = scenario()
+                timings.append(time.perf_counter() - start)
+        except Exception as exc:  # pragma: no cover - crash reporting path
+            print(f"{name}: FAILED ({type(exc).__name__}: {exc})")
+            failures += 1
+            results.append({"name": name, "error": f"{type(exc).__name__}: {exc}"})
+            continue
+        if not result.completed:
+            print(f"{name}: run did not complete all work units")
+            failures += 1
+        best = min(timings)
+        row = {
+            "name": name,
+            "seconds_best": round(best, 6),
+            "seconds_all": [round(s, 6) for s in timings],
+            "work": result.metrics.work_total,
+            "messages": result.metrics.messages_total,
+            "virtual_rounds": float(result.metrics.retire_round),
+            "completed": result.completed,
+        }
+        results.append(row)
+        print(
+            f"{name}: {best:.3f}s  work={row['work']} messages={row['messages']} "
+            f"virtual_rounds={row['virtual_rounds']:.3g}"
+        )
+    payload = {
+        "suite": "engine",
+        "smoke": smoke,
+        "repeat": repeat,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenarios": results,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny scenario sizes (for CI smoke runs)"
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, help="timing repetitions per scenario"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_engine.json",
+        help="output JSON path (default: BENCH_engine.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    return run(args.smoke, max(1, args.repeat), args.out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -65,6 +65,9 @@ class SenderProcess(Process):
         if hasattr(self.inner, "attachment"):
             self.inner.attachment = value
 
+    # Scheduling contract (see repro.sim.process): the engine caches this
+    # value between engine-observed events, which is sound because every
+    # field it reads is mutated only inside on_round / the lifecycle hooks.
     def wake_round(self) -> Optional[int]:
         if self.retired:
             return None

@@ -29,6 +29,9 @@ class ReplicateProcess(Process):
         self.n = n
         self._next_unit = 1
 
+    # Scheduling contract (see repro.sim.process): the engine caches this
+    # value between engine-observed events, which is sound because every
+    # field it reads is mutated only inside on_round / the lifecycle hooks.
     def wake_round(self) -> Optional[int]:
         if self.retired:
             return None

@@ -81,6 +81,9 @@ class ProtocolBProcess(Process):
             return self.epoch  # process 0 is active from round 0 by convention
         return self.last_stamp + self.deadlines.DDB(self.pid, self.last_sender)
 
+    # Scheduling contract (see repro.sim.process): the engine caches this
+    # value between engine-observed events, which is sound because every
+    # field it reads is mutated only inside on_round / the lifecycle hooks.
     def wake_round(self) -> Optional[int]:
         if self.retired:
             return None

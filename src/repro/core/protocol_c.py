@@ -94,6 +94,9 @@ class ProtocolCProcess(Process):
     def reduced_view(self) -> int:
         return self.view.reduced(self.t)
 
+    # Scheduling contract (see repro.sim.process): the engine caches this
+    # value between engine-observed events, which is sound because every
+    # field it reads is mutated only inside on_round / the lifecycle hooks.
     def wake_round(self) -> Optional[int]:
         if self.retired:
             return None

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import Any, Iterable, List, NamedTuple, Optional, Tuple
 
 
 class MessageKind(str, Enum):
@@ -35,21 +35,26 @@ class MessageKind(str, Enum):
     CONTROL = "control"                        # anything else (baselines etc.)
 
 
-@dataclass(frozen=True)
-class Send:
-    """An outgoing message requested by a process in the current round."""
+class Send(NamedTuple):
+    """An outgoing message requested by a process in the current round.
+
+    A ``NamedTuple`` rather than a frozen dataclass: one is allocated per
+    point-to-point copy of every broadcast, so construction cost is on
+    the simulator's hottest path (Protocol D's agreement phases build
+    ``Theta(t^2)`` of these per round).
+    """
 
     dst: int
     payload: Any
     kind: MessageKind = MessageKind.CONTROL
 
 
-@dataclass(frozen=True)
-class Envelope:
+class Envelope(NamedTuple):
     """A message in flight (or delivered).
 
     ``sent_round`` is the stamp round: the envelope is visible to the
-    recipient's decisions strictly after ``sent_round``.
+    recipient's decisions strictly after ``sent_round``.  A ``NamedTuple``
+    for the same hot-path reason as :class:`Send`.
     """
 
     src: int

@@ -133,11 +133,7 @@ class KillActive(Adversary):
     ) -> List[CrashDirective]:
         if self.budget <= 0:
             return []
-        active = [
-            p.pid
-            for p in engine.processes
-            if not p.retired and p.is_active and p.pid in actions
-        ]
+        active = [pid for pid in engine.active_pids() if pid in actions]
         if not active:
             return []
         pid = active[0]
@@ -147,7 +143,7 @@ class KillActive(Adversary):
         self._seen_actions += 1
         if self._seen_actions < self.actions_before_kill:
             return []
-        if sum(1 for p in engine.processes if p.crashed) >= engine.t - 1:
+        if engine.crashed_count >= engine.t - 1:
             return []
         self.budget -= 1
         self._current_victim = None
@@ -178,7 +174,7 @@ class KillBeforeCheckpoint(Adversary):
             process = engine.processes[pid]
             if not process.is_active or not action.sends:
                 continue
-            if sum(1 for p in engine.processes if p.crashed) >= engine.t - 1:
+            if engine.crashed_count >= engine.t - 1:
                 continue
             if self.budget <= 0:
                 break
@@ -235,7 +231,7 @@ class Cascade(Adversary):
             if self._work_seen[pid] == threshold:
                 if self.budget is not None and self.budget <= 0:
                     continue
-                if sum(1 for p in engine.processes if p.crashed) >= engine.t - 1:
+                if engine.crashed_count >= engine.t - 1:
                     continue
                 if self.budget is not None:
                     self.budget -= 1
@@ -281,7 +277,7 @@ class StaggeredWorkKills(Adversary):
             self._done[pid] = self._done.get(pid, 0) + 1
             if self._done[pid] >= self._quota[pid]:
                 del self._quota[pid]
-                if sum(1 for p in engine.processes if p.crashed) >= engine.t - 1:
+                if engine.crashed_count >= engine.t - 1:
                     continue
                 directives.append(
                     CrashDirective(
@@ -309,7 +305,7 @@ class CrashMidBroadcast(Adversary):
         directives = []
         for pid, action in actions.items():
             if pid in self.victims and len(action.sends) >= self.min_batch:
-                if sum(1 for p in engine.processes if p.crashed) >= engine.t - 1:
+                if engine.crashed_count >= engine.t - 1:
                     continue
                 self.victims.discard(pid)
                 keep = frozenset(

@@ -16,11 +16,52 @@ whose timeout deadlines are ``Theta(K (n+t) 2^{n+t})`` rounds: the round
 counter is just a Python integer, so simulating an execution whose last
 retirement happens at round ~10^40 costs time proportional to the number
 of *actions*, not rounds.
+
+Event-indexed scheduling
+------------------------
+
+Fast-forward alone makes wall time proportional to *processed rounds*,
+but a naive implementation still pays ``O(t + total_mail)`` per processed
+round to rediscover which processes are due.  This engine instead keeps
+an event index, mirroring the heap-based design of
+:mod:`repro.sim.async_engine`, so the total scheduling cost is
+``O(actions * log t)``:
+
+* **Indexed min-heap with lazy invalidation.**  ``_heap`` holds
+  ``(due_round, pid)`` pairs and ``_due`` maps each pid to its currently
+  valid due round (the min of its earliest undelivered mail stamp + 1 and
+  its cached ``wake_round()``).  Entries whose due round no longer
+  matches ``_due`` are discarded when they surface.  The index is updated
+  incrementally - when mail is posted, when a process steps (its wake
+  round may have moved), and when a process retires - never by scanning
+  all ``t`` processes.
+* **Stamp-sorted mailboxes.**  Posts happen at the current processed
+  round and processed rounds strictly increase, so each mailbox is
+  always sorted by ``sent_round``.  The earliest stamp is ``mailbox[0]``
+  (no ``min()`` scan) and delivery splits off a prefix instead of
+  rebuilding the list.
+* **Live-set bookkeeping.**  ``_live``, ``_active`` and ``_crashed_pids``
+  are maintained at retirement/activation events, so the main loop,
+  strict-invariant check and crash guard never iterate over retired
+  processes.
+* **Batched broadcast path.**  A round's send batch is committed through
+  :meth:`Metrics.record_send_batch` with per-send cost reduced to a few
+  counter bumps plus one :class:`Envelope` per *live* recipient; trace
+  emission is skipped entirely when tracing is disabled.
+
+Wake rounds are cached, which is sound because ``wake_round()`` is a pure
+function of process state and that state only changes at engine-observed
+points (see the scheduling contract in :mod:`repro.sim.process`);
+out-of-band mutations must call ``Process.notify_wake_changed``.  All of
+this is observationally identical to the naive scan: same metrics, same
+trace, same RNG draws (``tests/test_scheduler_equivalence.py`` checks
+exactly that against a reference scheduler).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from heapq import heappop, heappush
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import (
     AdversaryError,
@@ -71,28 +112,54 @@ class Engine:
         self.metrics = Metrics()
         self.round = -1  # last processed round
         self._mailboxes: Dict[int, List[Envelope]] = {p.pid: [] for p in self.processes}
+        # Event index: see module docstring.
+        self._heap: List[Tuple[int, int]] = []
+        self._due: Dict[int, Optional[int]] = {}
+        self._live: Set[int] = set()
+        self._active: Set[int] = set()
+        self._crashed_pids: Set[int] = set()
+        for process in self.processes:
+            process._wake_listener = self._refresh_schedule
+            self._refresh_schedule(process.pid)
+            if not process.retired and process.is_active:
+                self._active.add(process.pid)
+        # Processes retired before the run started still bound the
+        # execution's retire round (engine-driven retirements are
+        # recorded at event time in _apply_crashes/_commit_actions).
+        for process in self.processes:
+            if process.halt_round is not None:
+                self.metrics.record_retire(process.pid, process.halt_round)
+            if process.crash_round is not None:
+                self.metrics.record_retire(process.pid, process.crash_round)
         if adversary is not None:
             adversary.bind(self)
 
     # ---- public API --------------------------------------------------
 
+    @property
+    def crashed_count(self) -> int:
+        """Number of processes that have crashed so far (O(1))."""
+        return len(self._crashed_pids)
+
+    def active_pids(self) -> List[int]:
+        """Pids currently holding the active role, in pid order (O(1)-ish)."""
+        return sorted(self._active)
+
     def run(self) -> RunResult:
         """Run until every process retires; return the outcome."""
         steps = 0
-        while not self._all_retired():
+        while self._live:
             next_round = self._next_due_round()
             if next_round is None:
                 # Live processes remain but none will ever act again.
-                if self._any_live_unhalted():
-                    raise SimulationStalled(
-                        "live processes remain but nothing is scheduled: "
-                        + ", ".join(
-                            f"p{p.pid}({p.state_label()})"
-                            for p in self.processes
-                            if not p.retired
-                        )
+                raise SimulationStalled(
+                    "live processes remain but nothing is scheduled: "
+                    + ", ".join(
+                        f"p{p.pid}({p.state_label()})"
+                        for p in self.processes
+                        if not p.retired
                     )
-                break
+                )
             if self.max_rounds is not None and next_round > self.max_rounds:
                 raise BudgetExceeded(
                     f"round {next_round} exceeds max_rounds={self.max_rounds}"
@@ -105,72 +172,124 @@ class Engine:
 
     # ---- schedule computation -----------------------------------------
 
-    def _due_round_of(self, process: Process) -> Optional[int]:
-        """Earliest round >= self.round + 1 at which ``process`` must act."""
+    def _refresh_schedule(self, pid: int) -> None:
+        """Recompute ``pid``'s due round and push it into the event index.
+
+        Called after every event that can change the answer: a step, a
+        mail post, retirement, or an explicit ``notify_wake_changed``.
+        Retirement also updates the live/active/crashed bookkeeping, so a
+        process retired through any path drops out of scheduling.
+        """
+        process = self.processes[pid]
         if process.retired:
-            return None
-        floor = self.round + 1
-        due: Optional[int] = None
-        mailbox = self._mailboxes[process.pid]
-        if mailbox:
-            earliest = min(env.sent_round for env in mailbox) + 1
-            due = max(earliest, floor)
+            self._due[pid] = None
+            self._live.discard(pid)
+            self._active.discard(pid)
+            if process.crashed:
+                self._crashed_pids.add(pid)
+            # Keep retire_round correct even for out-of-band retirements
+            # (external mark_crashed/mark_halted reach here through
+            # notify_wake_changed); record_retire is a max, so repeating
+            # it for engine-driven retirements is a no-op.
+            if process.crash_round is not None:
+                self.metrics.record_retire(pid, process.crash_round)
+            if process.halt_round is not None:
+                self.metrics.record_retire(pid, process.halt_round)
+            self._mailboxes[pid].clear()
+            return
+        self._live.add(pid)
+        mailbox = self._mailboxes[pid]
+        due = mailbox[0].sent_round + 1 if mailbox else None
         wake = process.wake_round()
-        if wake is not None:
-            wake = max(wake, floor)
-            due = wake if due is None else min(due, wake)
-        return due
+        if wake is not None and (due is None or wake < due):
+            due = wake
+        if due != self._due.get(pid):
+            self._due[pid] = due
+            if due is not None:
+                heappush(self._heap, (due, pid))
+
+    def _note_mail(self, dst: int, sent_round: int) -> None:
+        """Lower ``dst``'s due round after mail stamped ``sent_round``."""
+        due = sent_round + 1
+        cached = self._due.get(dst)
+        if cached is None or cached > due:
+            self._due[dst] = due
+            heappush(self._heap, (due, dst))
 
     def _next_due_round(self) -> Optional[int]:
-        dues = [self._due_round_of(p) for p in self.processes]
-        dues = [due for due in dues if due is not None]
-        return min(dues) if dues else None
+        heap, due_map = self._heap, self._due
+        while heap:
+            due, pid = heap[0]
+            if due_map.get(pid) == due:
+                # Due rounds may lie in the past ("act as soon as
+                # possible"); clamp to the next unprocessed round.
+                floor = self.round + 1
+                return due if due > floor else floor
+            heappop(heap)
+        return None
+
+    def _collect_due_pids(self, round_number: int) -> List[int]:
+        """Pop every process due at ``round_number``, in pid order.
+
+        Popped pids are cleared from the index; the caller re-inserts
+        survivors via :meth:`_refresh_schedule` after the round commits.
+        """
+        heap, due_map = self._heap, self._due
+        due_pids: List[int] = []
+        while heap and heap[0][0] <= round_number:
+            due, pid = heappop(heap)
+            if due_map.get(pid) == due:
+                due_map[pid] = None
+                due_pids.append(pid)
+        due_pids.sort()
+        return due_pids
 
     # ---- one round -----------------------------------------------------
 
     def _process_round(self, round_number: int) -> None:
         self.round = round_number
+        due_pids = self._collect_due_pids(round_number)
         stepped: Dict[int, Action] = {}
-        for process in self.processes:
+        processes = self.processes
+        for pid in due_pids:
+            process = processes[pid]
             if process.retired:
                 continue
-            due = self._due_round_of_cached(process, round_number)
-            if due is None or due > round_number:
-                continue
-            inbox = self._drain_mailbox(process.pid, round_number)
+            inbox = self._drain_mailbox(pid, round_number)
             was_active = process.is_active
-            stepped[process.pid] = process.on_round(round_number, inbox)
-            if process.is_active and not was_active:
-                self.metrics.record_activation(process.pid, round_number)
-                self.trace.emit(round_number, "activate", process.pid)
+            stepped[pid] = process.on_round(round_number, inbox)
+            if process.is_active:
+                if not was_active:
+                    self.metrics.record_activation(pid, round_number)
+                    self.trace.emit(round_number, "activate", pid)
+                    self._active.add(pid)
+            elif was_active:
+                self._active.discard(pid)
 
         directives = self._collect_directives(round_number, stepped)
         self._apply_crashes(round_number, stepped, directives)
         self._commit_actions(round_number, stepped)
+        for pid in due_pids:
+            self._refresh_schedule(pid)
         if self.strict_invariants:
             self._check_single_active(round_number)
 
-    def _due_round_of_cached(self, process: Process, round_number: int) -> Optional[int]:
-        # Re-derive rather than cache: wake rounds may have been computed
-        # against an older ``self.round`` but _due_round_of clamps, and
-        # self.round was just advanced, so clamp to round_number instead.
-        if process.retired:
-            return None
-        mailbox = self._mailboxes[process.pid]
-        if any(env.sent_round < round_number for env in mailbox):
-            return round_number
-        wake = process.wake_round()
-        if wake is not None and wake <= round_number:
-            return round_number
-        return None
-
     def _drain_mailbox(self, pid: int, round_number: int) -> List[Envelope]:
+        """Split off (and return) all mail stamped before ``round_number``.
+
+        Mailboxes are sorted by stamp (posts happen at strictly
+        increasing processed rounds), so delivery is a prefix split.
+        """
         mailbox = self._mailboxes[pid]
-        ready = [env for env in mailbox if env.sent_round < round_number]
-        if ready:
-            self._mailboxes[pid] = [
-                env for env in mailbox if env.sent_round >= round_number
-            ]
+        if not mailbox or mailbox[0].sent_round >= round_number:
+            return []
+        split = len(mailbox)
+        for index, envelope in enumerate(mailbox):
+            if envelope.sent_round >= round_number:
+                split = index
+                break
+        ready = mailbox[:split]
+        del mailbox[:split]
         return ready
 
     # ---- crashes ---------------------------------------------------------
@@ -196,7 +315,7 @@ class Engine:
             victim = self.processes[directive.pid]
             if victim.retired:
                 continue
-            if not self.allow_total_failure and self._crashed_count() >= self.t - 1:
+            if not self.allow_total_failure and self.crashed_count >= self.t - 1:
                 raise AdversaryError(
                     "adversary attempted to crash the last surviving process; "
                     "pass allow_total_failure=True to permit executions with "
@@ -206,12 +325,11 @@ class Engine:
                 stepped[directive.pid] = directive.censor(
                     stepped[directive.pid], self.crash_rng
                 )
+            # mark_crashed notifies the wake listener, which retires the
+            # victim from the event index and live/active sets.
             victim.mark_crashed(max(directive.at_round, 0))
             self.metrics.record_crash(victim.pid, victim.crash_round or round_number)
             self.trace.emit(round_number, "crash", victim.pid, directive.phase.value)
-
-    def _crashed_count(self) -> int:
-        return sum(1 for p in self.processes if p.crashed)
 
     # ---- committing actions ----------------------------------------------
 
@@ -220,8 +338,8 @@ class Engine:
             process = self.processes[pid]
             if action.work is not None:
                 self._record_work(pid, action.work, round_number)
-            for send in action.sends:
-                self._post(pid, send, round_number)
+            if action.sends:
+                self._post_batch(pid, action.sends, round_number)
             if action.halt and not process.crashed:
                 process.mark_halted(round_number)
                 self.metrics.record_retire(pid, round_number)
@@ -231,50 +349,77 @@ class Engine:
         if self.tracker is not None:
             self.tracker.record(pid, unit, round_number)
         self.metrics.record_work(pid, unit, round_number)
-        self.trace.emit(round_number, "work", pid, unit)
+        if self.trace.enabled:
+            self.trace.emit(round_number, "work", pid, unit)
         if self.unit_effect is not None:
             for send in self.unit_effect(pid, unit, round_number):
                 self._post(pid, send, round_number)
 
     def _post(self, src: int, send: Send, round_number: int) -> None:
-        envelope = Envelope(
-            src=src,
-            dst=send.dst,
-            payload=send.payload,
-            kind=send.kind,
-            sent_round=round_number,
-        )
-        self.metrics.record_send(envelope)
-        self.trace.emit(
-            round_number, "send", src, (send.kind.value, send.dst, send.payload)
-        )
-        recipient = self.processes[send.dst] if 0 <= send.dst < self.t else None
-        if recipient is not None and not recipient.retired:
-            self._mailboxes[send.dst].append(envelope)
+        """Post one send (the non-batched path, used by unit effects)."""
+        self.metrics.record_send_fast(src, send.kind, round_number)
+        if self.trace.enabled:
+            self.trace.emit(
+                round_number, "send", src, (send.kind.value, send.dst, send.payload)
+            )
+        dst = send.dst
+        if 0 <= dst < self.t and not self.processes[dst].retired:
+            self._mailboxes[dst].append(
+                Envelope(src, dst, send.payload, send.kind, round_number)
+            )
+            self._note_mail(dst, round_number)
+
+    def _post_batch(self, src: int, sends: List[Send], round_number: int) -> None:
+        """Post one round's broadcast batch from ``src``.
+
+        Per-send cost is a few counter bumps; envelopes are only built
+        for recipients that are alive to store them, and trace tuples are
+        only built when tracing is on.
+        """
+        kind_counts: Dict[MessageKind, int] = {}
+        for send in sends:
+            kind = send.kind
+            kind_counts[kind] = kind_counts.get(kind, 0) + 1
+        self.metrics.record_send_batch(src, kind_counts, len(sends), round_number)
+        trace = self.trace
+        if trace.enabled:
+            for send in sends:
+                trace.emit(
+                    round_number, "send", src, (send.kind.value, send.dst, send.payload)
+                )
+        t = self.t
+        processes = self.processes
+        mailboxes = self._mailboxes
+        due_map = self._due
+        heap = self._heap
+        next_due = round_number + 1
+        for send in sends:
+            dst = send.dst
+            if 0 <= dst < t and not processes[dst].retired:
+                mailboxes[dst].append(
+                    Envelope(src, dst, send.payload, send.kind, round_number)
+                )
+                cached = due_map.get(dst)
+                if cached is None or cached > next_due:
+                    due_map[dst] = next_due
+                    heappush(heap, (next_due, dst))
 
     # ---- invariants and results -------------------------------------------
 
     def _check_single_active(self, round_number: int) -> None:
-        active = [p.pid for p in self.processes if not p.retired and p.is_active]
-        if len(active) > 1:
+        if len(self._active) > 1:
             raise InvariantViolation(
-                f"round {round_number}: multiple active processes {active}"
+                f"round {round_number}: multiple active processes "
+                f"{sorted(self._active)}"
             )
-
-    def _all_retired(self) -> bool:
-        return all(p.retired for p in self.processes)
-
-    def _any_live_unhalted(self) -> bool:
-        return any(not p.retired for p in self.processes)
 
     def _result(self) -> RunResult:
         survivors = sum(1 for p in self.processes if not p.crashed)
         halted = sum(1 for p in self.processes if p.halted)
+        # Retire rounds were recorded when the retirements happened
+        # (_apply_crashes / _commit_actions / __init__ for pre-retired
+        # processes); only the availability measure needs a final pass.
         for process in self.processes:
-            if process.halt_round is not None:
-                self.metrics.record_retire(process.pid, process.halt_round)
-            if process.crash_round is not None:
-                self.metrics.record_retire(process.pid, process.crash_round)
             lifetime = process.crash_round if process.crashed else process.halt_round
             if lifetime is not None:
                 self.metrics.available_processor_steps += lifetime + 1

@@ -52,6 +52,41 @@ class Metrics:
         self.messages_by_process[envelope.src] += 1
         self.rounds = max(self.rounds, envelope.sent_round)
 
+    def record_send_fast(self, src: int, kind: MessageKind, round_number: int) -> None:
+        """Count one send without materialising an :class:`Envelope`.
+
+        Observationally identical to :meth:`record_send`; used by the
+        engine's hot path, where the envelope object is only built when a
+        live recipient actually stores it.
+        """
+        self.messages_total += 1
+        self.messages_by_kind[kind] += 1
+        self.messages_by_process[src] += 1
+        if round_number > self.rounds:
+            self.rounds = round_number
+
+    def record_send_batch(
+        self,
+        src: int,
+        kind_counts: Dict[MessageKind, int],
+        count: int,
+        round_number: int,
+    ) -> None:
+        """Count one broadcast batch of ``count`` sends from ``src``.
+
+        ``kind_counts`` maps each message kind in the batch to its
+        multiplicity (summing to ``count``).  Equivalent to ``count``
+        calls of :meth:`record_send_fast` but with per-batch instead of
+        per-copy bookkeeping overhead.
+        """
+        self.messages_total += count
+        self.messages_by_process[src] += count
+        by_kind = self.messages_by_kind
+        for kind, kind_count in kind_counts.items():
+            by_kind[kind] += kind_count
+        if round_number > self.rounds:
+            self.rounds = round_number
+
     def record_crash(self, pid: int, round_number: int) -> None:
         self.crashes += 1
         self.retire_round = max(self.retire_round, round_number)

@@ -6,12 +6,33 @@ mail, or its self-declared wake round has arrived.  Between due rounds the
 process is quiescent by contract, which is what allows the engine to
 fast-forward over the enormous idle stretches that Protocol C's
 exponential deadlines create.
+
+Scheduling contract
+-------------------
+
+The engine schedules processes through an event index: it queries
+:meth:`wake_round` once after every event that can change the answer
+(construction, each :meth:`on_round` call, retirement) and caches the
+result rather than polling every process every round.  Two obligations
+follow for implementations:
+
+* ``wake_round()`` must be a pure function of process state - calling it
+  twice without an intervening state change must return the same value;
+* state that influences ``wake_round()`` may only change inside
+  ``on_round`` or the ``mark_crashed``/``mark_halted`` lifecycle hooks.
+  Code that mutates such state through any other path (e.g. an external
+  controller poking a process between rounds) must call
+  :meth:`notify_wake_changed` afterwards so the engine can refresh its
+  cached schedule entry.
+
+Every protocol in this repository satisfies the contract naturally: their
+deadlines and scripts advance only inside ``on_round``.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.sim.actions import Action, Envelope
 
@@ -26,6 +47,9 @@ class Process(ABC):
         self.crash_round: Optional[int] = None
         self.halted = False
         self.halt_round: Optional[int] = None
+        #: Set by the engine: called with ``pid`` when this process's
+        #: schedule entry must be recomputed (see module docstring).
+        self._wake_listener: Optional[Callable[[int], None]] = None
 
     # ---- lifecycle -------------------------------------------------
 
@@ -49,11 +73,13 @@ class Process(ABC):
         self.crashed = True
         if self.crash_round is None:
             self.crash_round = round_number
+        self.notify_wake_changed()
 
     def mark_halted(self, round_number: int) -> None:
         self.halted = True
         if self.halt_round is None:
             self.halt_round = round_number
+        self.notify_wake_changed()
 
     # ---- scheduling ------------------------------------------------
 
@@ -75,6 +101,20 @@ class Process(ABC):
         strictly smaller than ``round_number``).  The returned action's
         sends are stamped ``round_number``.
         """
+
+    def notify_wake_changed(self) -> None:
+        """Tell the engine that :meth:`wake_round`'s answer (or retirement
+        status) changed outside the engine-driven call points.
+
+        The engine re-queries ``wake_round()`` only after events it
+        observes; any other mutation of wake-relevant state must be
+        followed by a call to this method or the process may be stepped
+        too late (never too early).  Safe to call when no engine is
+        attached, and idempotent.
+        """
+        listener = self._wake_listener
+        if listener is not None:
+            listener(self.pid)
 
     # ---- debugging -------------------------------------------------
 

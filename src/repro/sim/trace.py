@@ -3,6 +3,12 @@
 Traces are off by default (they cost memory proportional to the number
 of events) and are used by tests that assert fine-grained ordering
 properties, and by examples that want to narrate an execution.
+
+Hot-path contract: the engine checks :attr:`Trace.enabled` *before*
+building the per-event detail tuple on its per-send and per-work paths,
+so a disabled trace costs one attribute read per batch rather than a
+tuple allocation per message.  :meth:`emit` still guards internally for
+the rare event kinds (crash/halt/activate) that skip the pre-check.
 """
 
 from __future__ import annotations
@@ -11,7 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     round: int
     kind: str            # "work" | "send" | "crash" | "halt" | "activate"
@@ -24,6 +30,8 @@ class TraceEvent:
 
 class Trace:
     """Append-only event log with small query helpers."""
+
+    __slots__ = ("enabled", "events")
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled

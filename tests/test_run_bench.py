@@ -1,0 +1,39 @@
+"""Smoke test for the standalone benchmark runner.
+
+``benchmarks/run_bench.py`` is deliberately pytest-free so it can run in
+bare CI jobs; this test invokes it as a subprocess in ``--smoke`` mode to
+make sure the runner itself cannot rot.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_run_bench_smoke(tmp_path):
+    out = tmp_path / "BENCH_engine.json"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "run_bench.py"),
+            "--smoke",
+            "--out",
+            str(out),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(out.read_text())
+    assert payload["suite"] == "engine"
+    assert payload["smoke"] is True
+    names = {row["name"] for row in payload["scenarios"]}
+    assert {"A_small", "C_exponential_rounds_small", "D_small"} <= names
+    for row in payload["scenarios"]:
+        assert "error" not in row
+        assert row["completed"]
+        assert row["seconds_best"] >= 0

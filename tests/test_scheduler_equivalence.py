@@ -1,0 +1,173 @@
+"""Equivalence of the event-indexed scheduler and a naive reference.
+
+The engine's event index (heap + cached due rounds + live sets) must be
+*observationally identical* to the seed engine's per-round rescan of all
+processes: same metrics, same trace event sequence, same RNG draws.
+``_ReferenceScheduler`` below re-implements exactly the seed behaviour -
+it derives every round's due set and the next due round from scratch by
+scanning all processes and all mailboxes - while inheriting the rest of
+the engine (crashes, commits, accounting) unchanged.  Running both over
+randomized seeds x protocols x adversaries and diffing the observable
+outputs pins the scheduler rewrite down.
+"""
+
+from typing import List, Optional
+
+import pytest
+
+from repro.core.registry import build_processes
+from repro.sim.adversary import (
+    Cascade,
+    CrashMidBroadcast,
+    FixedSchedule,
+    KillActive,
+    KillBeforeCheckpoint,
+    RandomCrashes,
+)
+from repro.sim.crashes import CrashDirective, CrashPhase
+from repro.sim.engine import Engine
+from repro.sim.trace import Trace
+from repro.work.tracker import WorkTracker
+
+
+class _ReferenceScheduler(Engine):
+    """The seed engine's O(rounds * t) schedule computation, kept as an
+    oracle: every query scans all processes and all mailbox stamps.
+
+    Only the three schedule-computation hooks are overridden; crash
+    handling, action commits and accounting are shared with the real
+    engine, so any divergence is attributable to scheduling.
+    """
+
+    def _reference_due(self, process) -> Optional[int]:
+        if process.retired:
+            return None
+        floor = self.round + 1
+        due: Optional[int] = None
+        mailbox = self._mailboxes[process.pid]
+        if mailbox:
+            earliest = min(env.sent_round for env in mailbox) + 1
+            due = max(earliest, floor)
+        wake = process.wake_round()
+        if wake is not None:
+            wake = max(wake, floor)
+            due = wake if due is None else min(due, wake)
+        return due
+
+    def _next_due_round(self) -> Optional[int]:
+        dues = [self._reference_due(p) for p in self.processes]
+        dues = [due for due in dues if due is not None]
+        return min(dues) if dues else None
+
+    def _collect_due_pids(self, round_number: int) -> List[int]:
+        due_pids = []
+        for process in self.processes:
+            if process.retired:
+                continue
+            mailbox = self._mailboxes[process.pid]
+            if any(env.sent_round < round_number for env in mailbox):
+                due_pids.append(process.pid)
+                continue
+            wake = process.wake_round()
+            if wake is not None and wake <= round_number:
+                due_pids.append(process.pid)
+        return due_pids
+
+    def _drain_mailbox(self, pid: int, round_number: int):
+        # Seed behaviour: filter rather than prefix-split, so the oracle
+        # does not depend on the stamp-sortedness invariant either.
+        mailbox = self._mailboxes[pid]
+        ready = [env for env in mailbox if env.sent_round < round_number]
+        if ready:
+            self._mailboxes[pid] = [
+                env for env in mailbox if env.sent_round >= round_number
+            ]
+        return ready
+
+
+def _run(engine_cls, protocol, n, t, adversary_factory, seed, **options):
+    processes = build_processes(protocol, n, t, **options)
+    trace = Trace(enabled=True)
+    engine = engine_cls(
+        processes,
+        tracker=WorkTracker(n),
+        adversary=adversary_factory() if adversary_factory else None,
+        seed=seed,
+        strict_invariants=protocol.lower() in {"a", "b", "c", "naive"},
+        trace=trace,
+    )
+    result = engine.run()
+    events = [(e.round, e.kind, e.pid, e.detail) for e in trace]
+    return result, events
+
+
+# 7 protocol/adversary shapes x 3 seeds = 21 randomized combinations.
+COMBOS = [
+    ("A", 40, 8, None),
+    ("A", 48, 8, lambda: RandomCrashes(4, max_action_index=12)),
+    ("A", 40, 6, lambda: CrashMidBroadcast(victims=(0, 2), min_batch=2)),
+    ("B", 40, 8, lambda: KillActive(5, actions_before_kill=2)),
+    ("C", 24, 6, lambda: KillActive(4, actions_before_kill=3)),
+    ("C-naive", 18, 6, lambda: Cascade(lead_units=6, redo_units=2)),
+    ("D", 60, 8, lambda: RandomCrashes(4, max_action_index=10)),
+]
+SEEDS = [0, 1, 2]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "protocol,n,t,adversary_factory",
+    COMBOS,
+    ids=[f"{c[0]}-n{c[1]}-t{c[2]}-{'adv' if c[3] else 'noadv'}" for c in COMBOS],
+)
+def test_scheduler_matches_reference(protocol, n, t, adversary_factory, seed):
+    fast, fast_events = _run(Engine, protocol, n, t, adversary_factory, seed)
+    ref, ref_events = _run(_ReferenceScheduler, protocol, n, t, adversary_factory, seed)
+    assert fast.metrics.as_dict() == ref.metrics.as_dict()
+    assert fast_events == ref_events
+    assert (fast.completed, fast.survivors, fast.halted) == (
+        ref.completed,
+        ref.survivors,
+        ref.halted,
+    )
+
+
+def test_reference_matches_on_scripted_partial_broadcast():
+    """Directive-driven crash phases (incl. mid-broadcast subsets) agree."""
+    directives = [
+        CrashDirective(pid=1, at_round=3, phase=CrashPhase.AFTER_WORK),
+        CrashDirective(pid=2, at_round=7, phase=CrashPhase.DURING_SEND),
+        CrashDirective(pid=4, at_round=11, phase=CrashPhase.BEFORE_ACTION),
+    ]
+    for seed in range(4):
+        fast, fe = _run(Engine, "A", 30, 6, lambda: FixedSchedule(directives), seed)
+        ref, re_ = _run(
+            _ReferenceScheduler, "A", 30, 6, lambda: FixedSchedule(directives), seed
+        )
+        assert fast.metrics.as_dict() == ref.metrics.as_dict()
+        assert fe == re_
+
+
+def test_retire_round_single_source_of_truth():
+    """Regression for the seed engine's _result double-charging: retire
+    rounds recorded at halt/crash time must already equal what the old
+    re-recording loop would have produced."""
+    for protocol, n, t, factory in [
+        ("A", 40, 8, lambda: RandomCrashes(4, max_action_index=12)),
+        ("B", 40, 8, lambda: KillActive(5, actions_before_kill=2)),
+        ("D", 60, 8, lambda: RandomCrashes(4, max_action_index=10)),
+        ("naive", 30, 6, lambda: KillBeforeCheckpoint(3)),
+    ]:
+        processes = build_processes(protocol, n, t)
+        engine = Engine(
+            processes, tracker=WorkTracker(n), adversary=factory(), seed=3
+        )
+        result = engine.run()
+        before = result.metrics.retire_round
+        # Re-apply the old loop: it must be a no-op.
+        for process in engine.processes:
+            if process.halt_round is not None:
+                result.metrics.record_retire(process.pid, process.halt_round)
+            if process.crash_round is not None:
+                result.metrics.record_retire(process.pid, process.crash_round)
+        assert result.metrics.retire_round == before
