@@ -9,9 +9,12 @@ from repro.sim.adversary import Cascade
 
 def test_naive_spreading_cascade_run(benchmark):
     t = 64
-    adversary_factory = lambda: Cascade(
-        lead_units=t - 1, redo_units=t // 2, initial_dead=list(range(t // 2 + 1, t))
-    )
+
+    def adversary_factory():
+        return Cascade(
+            lead_units=t - 1, redo_units=t // 2, initial_dead=list(range(t // 2 + 1, t))
+        )
+
     result = benchmark(
         lambda: run_protocol("C-naive", 2 * t, t, adversary=adversary_factory(), seed=2)
     )

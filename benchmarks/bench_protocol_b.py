@@ -29,7 +29,9 @@ def test_b_linear_time_vs_a_quadratic(benchmark):
     """The headline of Section 2.3: takeovers cost O(1) timeouts in B."""
 
     def run_both():
-        adversary = lambda: KillActive(35, actions_before_kill=2)
+        def adversary():
+            return KillActive(35, actions_before_kill=2)
+
         a = run_protocol("A", 288, 36, adversary=adversary(), seed=2)
         b = run_protocol("B", 288, 36, adversary=adversary(), seed=2)
         return a, b

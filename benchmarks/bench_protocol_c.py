@@ -35,7 +35,9 @@ def test_protocol_c_message_advantage_over_a(benchmark):
     """O(t log t) beats O(t sqrt t): work-poor, process-rich shape."""
 
     def run_both():
-        adversary = lambda: KillActive(63, actions_before_kill=2)
+        def adversary():
+            return KillActive(63, actions_before_kill=2)
+
         a = run_protocol("A", 64, 64, adversary=adversary(), seed=3)
         c = run_protocol("C", 64, 64, adversary=adversary(), seed=3)
         return a, c

@@ -27,8 +27,25 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.core.protocol_a_async import build_async_protocol_a  # noqa: E402
 from repro.core.registry import run_protocol  # noqa: E402
 from repro.sim.adversary import KillActive, RandomCrashes  # noqa: E402
+from repro.sim.async_engine import AsyncEngine, uniform_delays  # noqa: E402
+from repro.work.tracker import WorkTracker  # noqa: E402
+
+
+def _run_async_a(n: int, t: int, crashes: int, seed: int):
+    """Async Protocol A under the batched-delivery event loop."""
+    processes = build_async_protocol_a(n, t)
+    crash_times = {pid: 4.0 + 7.0 * pid for pid in range(crashes)}
+    engine = AsyncEngine(
+        processes,
+        tracker=WorkTracker(n),
+        seed=seed,
+        crash_times=crash_times,
+        delay_model=uniform_delays(),
+    )
+    return engine.run()
 
 
 def _scenarios(smoke: bool):
@@ -36,7 +53,10 @@ def _scenarios(smoke: bool):
 
     The full set mirrors ``bench_engine_scaling.py`` plus a large-``t``
     scenario (t = 4096) that exercises the event-indexed scheduler where
-    the seed engine's per-round O(t) rescans used to dominate.
+    the seed engine's per-round O(t) rescans used to dominate, a
+    large-``t`` Protocol D scenario where the bitset agreement fold
+    replaces the former O(t^2 n) per-phase-round set churn, and an async
+    Protocol A scenario on the batched-delivery event loop.
     """
     if smoke:
         return [
@@ -57,6 +77,16 @@ def _scenarios(smoke: bool):
                 lambda: run_protocol(
                     "D", 64, 8, adversary=RandomCrashes(3, max_action_index=10), seed=1
                 ),
+            ),
+            (
+                "D_large_t_small",
+                lambda: run_protocol(
+                    "D", 128, 16, adversary=RandomCrashes(4, max_action_index=10), seed=1
+                ),
+            ),
+            (
+                "A_async_small",
+                lambda: _run_async_a(64, 8, crashes=2, seed=1),
             ),
         ]
     return [
@@ -87,6 +117,18 @@ def _scenarios(smoke: bool):
                 adversary=RandomCrashes(1024, max_action_index=25),
                 seed=1,
             ),
+        ),
+        (
+            # The bitset tentpole scenario: t^2 agreement messages per
+            # round, each folding an n-unit outstanding set.
+            "D_n8192_t256",
+            lambda: run_protocol(
+                "D", 8192, 256, adversary=RandomCrashes(64, max_action_index=40), seed=1
+            ),
+        ),
+        (
+            "A_async_n4096_t64",
+            lambda: _run_async_a(4096, 64, crashes=16, seed=1),
         ),
     ]
 

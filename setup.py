@@ -2,10 +2,16 @@
 
 Kept so that ``pip install -e .`` works in offline environments without
 the ``wheel`` package (pip falls back to ``setup.py develop`` when no
-PEP 517 build backend is declared).  All metadata lives in
-``pyproject.toml``.
+PEP 517 build backend is declared).  Metadata lives in
+``pyproject.toml``; the ``src/`` layout is redeclared here because the
+legacy ``setup.py develop`` path does not read ``[tool.setuptools]``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-dhw92",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

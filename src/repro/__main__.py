@@ -27,7 +27,7 @@ from typing import List, Optional
 
 from repro.analysis.tables import render_table
 from repro.core.registry import available_protocols, run_protocol
-from repro.sim.adversary import KillActive, NoFailures, RandomCrashes
+from repro.sim.adversary import KillActive, RandomCrashes
 
 
 def _make_adversary(args):

@@ -22,7 +22,7 @@ from repro.agreement.byzantine import ByzantineAgreement
 from repro.core.registry import run_protocol
 from repro.errors import ConfigurationError
 from repro.sim.engine import Adversary
-from repro.sim.metrics import Metrics, RunResult
+from repro.sim.metrics import RunResult
 
 
 @dataclass

@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.agreement.byzantine import ByzantineAgreement
 from repro.analysis import bounds
@@ -26,12 +26,10 @@ from repro.sim.adversary import (
     Cascade,
     CrashMidBroadcast,
     KillActive,
-    NoFailures,
     RandomCrashes,
     StaggeredWorkKills,
 )
 from repro.sim.async_engine import AsyncEngine
-from repro.sim.crashes import CrashDirective, CrashPhase
 from repro.sim.engine import Adversary
 from repro.work.tracker import WorkTracker
 
@@ -903,11 +901,13 @@ def experiment_e15(quick: bool = False) -> ExperimentResult:
     rows = []
     for t in ts:
         n = 2 * t
-        adversary = lambda t=t: Cascade(
-            lead_units=t - 1,
-            redo_units=t // 2,
-            initial_dead=list(range(t // 2 + 1, t)),
-        )
+        def adversary(t=t):
+            return Cascade(
+                lead_units=t - 1,
+                redo_units=t // 2,
+                initial_dead=list(range(t // 2 + 1, t)),
+            )
+
         naive = worst_case("C-naive", n, t, [adversary], range(1))
         full_c = worst_case("C", n, t, [adversary], range(1))
         naive_work.append(float(naive.work))

@@ -5,7 +5,7 @@ benchmarks report the maximum over the schedules exercised)."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, Optional, Sequence
 
 from repro.core.registry import run_protocol
 from repro.sim.engine import Adversary

@@ -14,13 +14,11 @@ retires by round ``nt + 3t^2``.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional
 
 from repro.core.chunks import SubchunkPlan
 from repro.core.deadlines import ProtocolADeadlines
 from repro.core.dowork import (
-    FULL,
-    PARTIAL,
     Step,
     checkpoint_payload_subchunk,
     dowork_script,

@@ -22,7 +22,7 @@ the synchronous protocol's; only the takeover trigger changes.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional, Set
+from typing import Any, Iterator, List, Optional
 
 from repro.core.chunks import SubchunkPlan
 from repro.core.dowork import (
@@ -34,6 +34,7 @@ from repro.core.dowork import (
 from repro.core.groups import SqrtGroups
 from repro.sim.actions import MessageKind
 from repro.sim.async_engine import AsyncContext, AsyncProcess
+from repro.sim.bitset import IntBitset
 
 _ORDINARY_KINDS = (MessageKind.PARTIAL_CHECKPOINT, MessageKind.FULL_CHECKPOINT)
 
@@ -47,7 +48,7 @@ class AsyncProtocolAProcess(AsyncProcess):
         self.step_delay = step_delay
         self.groups = SqrtGroups(t)
         self.plan = SubchunkPlan(n, t, self.groups.group_size)
-        self.suspected: Set[int] = set()
+        self.suspected: IntBitset = IntBitset()
         self.active = False
         self._script: Optional[Iterator[Step]] = None
         payload, sender, _ = fictitious_initial_message(pid, self.groups)
@@ -75,7 +76,7 @@ class AsyncProtocolAProcess(AsyncProcess):
         self.suspected.add(crashed_pid)
         if self.active or self.halted:
             return
-        if all(lower in self.suspected for lower in range(self.pid)):
+        if self.suspected.count_below(self.pid) == self.pid:
             self._activate(ctx)
 
     def on_wake(self, ctx: AsyncContext, tag: Any) -> None:

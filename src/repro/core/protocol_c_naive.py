@@ -26,7 +26,7 @@ know-nothing state, where the paper wants the highest pid to move first
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.core.deadlines import ProtocolCDeadlines
 from repro.errors import ConfigurationError

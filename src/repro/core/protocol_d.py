@@ -27,19 +27,23 @@ round ``(f+1) n/t + 4f + 2``.  Failure-free: exactly ``n`` work,
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.protocol_a import ProtocolAProcess
 from repro.errors import ConfigurationError
 from repro.sim.actions import Action, Envelope, MessageKind, Send, broadcast
+from repro.sim.bitset import FrozenIntBitset, IntBitset
 from repro.sim.process import Process
 
 _WORK = "work"
 _AGREE = "agree"
 _REVERT = "revert"
 
-#: Agreement payload: (phase index, outstanding units, known-correct, done)
-AgreePayload = Tuple[int, FrozenSet[int], FrozenSet[int], bool]
+#: Agreement payload: (phase index, outstanding units, known-correct, done).
+#: The two set components travel as frozen bitset snapshots - freezing is
+#: O(1) and the recipient's fold is word-parallel bitwise algebra instead
+#: of O(n) element-wise set churn.
+AgreePayload = Tuple[int, FrozenIntBitset, FrozenIntBitset, bool]
 
 _INNER_KINDS = (MessageKind.PARTIAL_CHECKPOINT, MessageKind.FULL_CHECKPOINT)
 
@@ -66,8 +70,8 @@ class ProtocolDProcess(Process):
         self.n = n
         self.revert_threshold = revert_threshold
         self.slack = slack
-        self.S: Set[int] = set(range(1, n + 1))
-        self.T: Set[int] = set(range(t))
+        self.S: IntBitset = IntBitset.from_range(1, n + 1)
+        self.T: IntBitset = IntBitset.from_range(0, t)
         self.phase_index = 0
         self.reverted = False
         # Work-phase state.
@@ -76,11 +80,11 @@ class ProtocolDProcess(Process):
         self._work_done_count = 0
         self._agree_entry = 0
         # Agreement-phase state.
-        self._U: Set[int] = set()
-        self._u_snapshot: Set[int] = set()
+        self._U: IntBitset = IntBitset()
+        self._u_snapshot: IntBitset = IntBitset()
         self._round_var = 0
         self._agree_done = False
-        self._T_prev: Set[int] = set(self.T)
+        self._T_prev: IntBitset = self.T.copy()
         self._buffer: List[Envelope] = []
         # Reversion state.
         self._inner: Optional[ProtocolAProcess] = None
@@ -94,9 +98,9 @@ class ProtocolDProcess(Process):
     def _setup_work_phase(self, start_round: int) -> None:
         self.state = _WORK
         self.phase_index += 1
-        self._T_prev = set(self.T)
-        members = sorted(self.T)
-        units = sorted(self.S)
+        self._T_prev = self.T.copy()
+        members = list(self.T)   # bitset iteration is ascending
+        units = list(self.S)
         per_process = math.ceil(len(units) / len(members)) if members else 0
         try:
             rank = members.index(self.pid)
@@ -112,7 +116,7 @@ class ProtocolDProcess(Process):
         # Line 8 of Figure 4: S := S \ S'.  Removing the share up front is
         # equivalent: the share is fully performed before S is next used
         # (at agreement), and a crashed process's S is never consulted.
-        self.S -= set(self._share)
+        self.S.difference_update(self._share)
 
     # ---- scheduling ----------------------------------------------------------
 
@@ -161,21 +165,21 @@ class ProtocolDProcess(Process):
 
     def _enter_agree(self, round_number: int) -> Action:
         self.state = _AGREE
-        self._U = set(self.T)
-        self.T = {self.pid}
+        self._U = self.T.copy()
+        self.T = IntBitset.singleton(self.pid)
         self._agree_done = False
         self._round_var = 1 if self.phase_index == 1 else 0
-        self._u_snapshot = set(self._U)
+        self._u_snapshot = self._U.copy()
         return Action(sends=self._agree_broadcast(done=False))
 
     def _agree_broadcast(self, done: bool) -> List[Send]:
         payload: AgreePayload = (
             self.phase_index,
-            frozenset(self.S),
-            frozenset(self.T),
+            self.S.freeze(),
+            self.T.freeze(),
             done,
         )
-        recipients = [pid for pid in sorted(self._U) if pid != self.pid]
+        recipients = [pid for pid in self._U if pid != self.pid]
         return broadcast(recipients, payload, MessageKind.AGREEMENT)
 
     def _agree_round(self, round_number: int) -> Action:
@@ -189,8 +193,10 @@ class ProtocolDProcess(Process):
                 received[envelope.src] = payload
         self._buffer.clear()
 
-        # Lines 8-10: fold in ongoing views.
-        for pid in sorted(self._u_snapshot - {self.pid}):
+        # Lines 8-10: fold in ongoing views (word-parallel bitwise ops).
+        for pid in self._u_snapshot:
+            if pid == self.pid:
+                continue
             payload = received.get(pid)
             if payload is not None and not payload[3]:
                 self.S &= payload[1]
@@ -199,13 +205,13 @@ class ProtocolDProcess(Process):
         for pid in sorted(received):
             payload = received[pid]
             if payload[3]:
-                self.S = set(payload[1])
-                self.T = set(payload[2])
+                self.S = payload[1].thaw()
+                self.T = payload[2].thaw()
                 self._agree_done = True
         # Lines 15-16: silent processes are faulty (after the grace round).
         if self._round_var >= 1:
-            for pid in self._u_snapshot - {self.pid}:
-                if pid not in received:
+            for pid in self._u_snapshot:
+                if pid != self.pid and pid not in received:
                     self._U.discard(pid)
         # Lines 17-18: decide when the live set is stable.
         if (
@@ -219,7 +225,7 @@ class ProtocolDProcess(Process):
         if self._agree_done:
             sends = self._agree_broadcast(done=True)
             return self._finish_phase(round_number, sends)
-        self._u_snapshot = set(self._U)
+        self._u_snapshot = self._U.copy()
         return Action(sends=self._agree_broadcast(done=False))
 
     def _finish_phase(self, round_number: int, sends: List[Send]) -> Action:
@@ -237,8 +243,8 @@ class ProtocolDProcess(Process):
     def _enter_revert(self, start_round: int) -> None:
         self.state = _REVERT
         self.reverted = True
-        self._revert_members = sorted(self.T)
-        self._revert_units = sorted(self.S)
+        self._revert_members = list(self.T)   # ascending iteration
+        self._revert_units = list(self.S)
         rank = self._revert_members.index(self.pid)
         # Extra slack absorbs the <=1 round skew between deciders.
         self._inner = ProtocolAProcess(

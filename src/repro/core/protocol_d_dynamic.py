@@ -30,10 +30,11 @@ simulation parameter - a real deployment would run forever).
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.sim.actions import Action, Envelope, MessageKind, Send, broadcast
+from repro.sim.bitset import IntBitset
 from repro.sim.process import Process
 
 Arrival = Tuple[int, int, int]  # (round, site pid, unit)
@@ -83,21 +84,21 @@ class DynamicProtocolDProcess(Process):
         self.schedule = schedule
         self.cycle_length = cycle_length
         self._pending_arrivals = sorted(schedule.at_site(pid))
-        self.known: Set[int] = set()
+        self.known: IntBitset = IntBitset()
         #: Arrivals observed since the current agreement began.  They are
         #: folded into ``known`` only when the *next* agreement starts:
         #: mid-agreement, ``known`` is shared protocol state (adopting a
         #: decider's view replaces it), so a unit absorbed directly could
         #: be silently erased - and this site may be its only knower.
-        self._arrived_buffer: Set[int] = set()
-        self.done: Set[int] = set()
-        self.live: Set[int] = set(range(t))
+        self._arrived_buffer: IntBitset = IntBitset()
+        self.done: IntBitset = IntBitset()
+        self.live: IntBitset = IntBitset.from_range(0, t)
         self.state = _AGREE
         self._cycle_start = 0
         self._first_cycle = True
         # Agreement sub-state (pipelined exchange, as in Protocol D).
-        self._U: Set[int] = set(self.live)
-        self._u_snapshot: Set[int] = set()
+        self._U: IntBitset = self.live.copy()
+        self._u_snapshot: IntBitset = IntBitset()
         self._round_var = 0
         self._agree_done = False
         self._broadcast_pending = True
@@ -144,8 +145,8 @@ class DynamicProtocolDProcess(Process):
     def _enter_agree(self, round_number: int) -> None:
         self.state = _AGREE
         self._cycle_start = round_number
-        self._U = set(self.live)
-        self.live = {self.pid}
+        self._U = self.live.copy()
+        self.live = IntBitset.singleton(self.pid)
         self._agree_done = False
         self._round_var = 1 if self._first_cycle else 0
         self._first_cycle = False
@@ -154,14 +155,14 @@ class DynamicProtocolDProcess(Process):
     def _payload(self, done_flag: bool) -> tuple:
         return (
             self._cycle_start,
-            frozenset(self.known),
-            frozenset(self.done),
-            frozenset(self.live),
+            self.known.freeze(),
+            self.done.freeze(),
+            self.live.freeze(),
             done_flag,
         )
 
     def _agree_broadcast(self, done_flag: bool) -> List[Send]:
-        recipients = [pid for pid in sorted(self._U) if pid != self.pid]
+        recipients = [pid for pid in self._U if pid != self.pid]
         return broadcast(recipients, self._payload(done_flag), MessageKind.AGREEMENT)
 
     def _agree_round(self, round_number: int, inbox: List[Envelope]) -> Action:
@@ -171,7 +172,7 @@ class DynamicProtocolDProcess(Process):
             self.known |= self._arrived_buffer
             self._arrived_buffer.clear()
             self._broadcast_pending = False
-            self._u_snapshot = set(self._U)
+            self._u_snapshot = self._U.copy()
             return Action(sends=self._agree_broadcast(False))
         received: Dict[int, tuple] = {}
         for envelope in sorted(inbox, key=lambda env: env.sent_round):
@@ -183,7 +184,9 @@ class DynamicProtocolDProcess(Process):
             previous = received.get(envelope.src)
             if previous is None or payload[4] or not previous[4]:
                 received[envelope.src] = payload
-        for pid in sorted(self._u_snapshot - {self.pid}):
+        for pid in self._u_snapshot:
+            if pid == self.pid:
+                continue
             payload = received.get(pid)
             if payload is not None and not payload[4]:
                 self.known |= payload[1]
@@ -195,13 +198,13 @@ class DynamicProtocolDProcess(Process):
             if payload[4]:
                 adopted = payload
         if adopted is not None:
-            self.known = set(adopted[1])
-            self.done = set(adopted[2])
-            self.live = set(adopted[3])
+            self.known = adopted[1].thaw()
+            self.done = adopted[2].thaw()
+            self.live = adopted[3].thaw()
             self._agree_done = True
         if self._round_var >= 1:
-            for pid in self._u_snapshot - {self.pid}:
-                if pid not in received:
+            for pid in self._u_snapshot:
+                if pid != self.pid and pid not in received:
                     self._U.discard(pid)
         if (
             not self._agree_done
@@ -213,11 +216,11 @@ class DynamicProtocolDProcess(Process):
         if self._agree_done:
             sends = self._agree_broadcast(True)
             return self._finish_agreement(round_number, sends)
-        self._u_snapshot = set(self._U)
+        self._u_snapshot = self._U.copy()
         return Action(sends=self._agree_broadcast(False))
 
     def _finish_agreement(self, round_number: int, sends: List[Send]) -> Action:
-        outstanding = sorted(self.known - self.done)
+        outstanding = list(self.known - self.done)   # ascending iteration
         no_more_arrivals = round_number >= self.schedule.horizon
         if (
             not outstanding
@@ -226,7 +229,7 @@ class DynamicProtocolDProcess(Process):
             and not self._arrived_buffer
         ):
             return Action(sends=sends, halt=True)
-        members = sorted(self.live)
+        members = list(self.live)   # ascending iteration
         per_process = math.ceil(len(outstanding) / len(members)) if members else 0
         try:
             rank = members.index(self.pid)

@@ -25,7 +25,7 @@ name              description                                     paper ref
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.sim.engine import Adversary, Engine

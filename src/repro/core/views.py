@@ -18,16 +18,22 @@ cleanly (by report round) when views travel inside ordinary messages.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.levels import GroupKey
+from repro.sim.bitset import IntBitset
 
 
 @dataclass
 class View:
-    """The mutable knowledge state of one Protocol C process."""
+    """The mutable knowledge state of one Protocol C process.
 
-    faulty: Set[int] = field(default_factory=set)
+    ``faulty`` is an :class:`IntBitset`: views travel inside every
+    ordinary message and are merged pairwise, so the union/difference
+    algebra runs word-parallel instead of per-element.
+    """
+
+    faulty: IntBitset = field(default_factory=IntBitset)
     #: group key -> (last informed pid, stamp round of that report)
     last_informed: Dict[GroupKey, Tuple[int, int]] = field(default_factory=dict)
     work_next: int = 1      # paper's point_i[G_0]: next unit to perform
@@ -37,7 +43,7 @@ class View:
 
     def copy(self) -> "View":
         return View(
-            faulty=set(self.faulty),
+            faulty=self.faulty.copy(),
             last_informed=dict(self.last_informed),
             work_next=self.work_next,
             work_round=self.work_round,
@@ -80,8 +86,7 @@ class View:
         Virtual padding processes (pids >= real_t) are excluded so the
         deadline schedule matches the paper's range ``0..n+t-1``.
         """
-        real_faults = sum(1 for pid in self.faulty if pid < real_t)
-        return self.work_next - 1 + real_faults
+        return self.work_next - 1 + self.faulty.count_below(real_t)
 
     def knows_at_least(self, other: "View") -> bool:
         """The paper's "knows more than (or exactly as much as)" order."""

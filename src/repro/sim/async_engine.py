@@ -9,6 +9,21 @@ rather than by deadlines.
 Processes are event handlers; the engine maintains a priority queue of
 timed events (message deliveries, self-scheduled wake-ups, crashes, and
 failure-detector suspicions) and runs until every process has retired.
+
+Batched delivery
+----------------
+
+Message deliveries are batched per ``(recipient, due_time)``, mirroring
+the stamp-sorted mailbox design of the synchronous engine: the first
+copy due at a given instant pushes one ``deliver_batch`` heap event and
+later copies for the same instant append to the batch list, so the heap
+holds one entry per distinct delivery instant per recipient instead of
+one per message copy.  Dispatch order is *exactly* the per-copy order:
+each copy keeps its own sequence number, and the batch loop yields back
+to the heap whenever another queued event (a crash, a wake, another
+recipient's batch) sorts before the next copy at the same instant
+(``tests/test_async_equivalence.py`` diffs this against a per-copy
+reference engine).
 """
 
 from __future__ import annotations
@@ -38,11 +53,26 @@ def uniform_delays(low: float = 0.5, high: float = 4.0) -> DelayModel:
     return model
 
 
-@dataclass(order=True)
+def fixed_delays(delay: float = 1.0) -> DelayModel:
+    """Every message takes exactly ``delay`` time units.
+
+    Deterministic delays make concurrent senders' copies coincide at the
+    recipient, which is the regime where per-instant delivery batching
+    collapses many heap events into one.
+    """
+
+    def model(rng: random.Random, src: int, dst: int) -> float:
+        return delay
+
+    return model
+
+
+@dataclass(order=True, slots=True)
 class _Event:
     time: float
     seq: int
-    kind: str = field(compare=False)          # deliver | wake | crash | suspect
+    # deliver_batch | deliver (oracle path) | wake | crash | suspect
+    kind: str = field(compare=False)
     pid: int = field(compare=False)
     payload: Any = field(compare=False, default=None)
 
@@ -127,6 +157,8 @@ class AsyncEngine:
         self.now = 0.0
         self._heap: List[_Event] = []
         self._seq = itertools.count()
+        #: (dst, due_time) -> [(seq, src, payload, kind), ...] in send order.
+        self._batches: Dict[Tuple[int, float], List[Tuple[int, int, Any, MessageKind]]] = {}
         for pid, crash_time in sorted((crash_times or {}).items()):
             self._schedule_abs(crash_time, "crash", pid, None)
 
@@ -146,7 +178,15 @@ class AsyncEngine:
         )
         self.metrics.record_send(envelope)
         delay = max(0.0, self.delay_model(self.delay_rng, src, dst))
-        self._schedule(delay, "deliver", dst, (src, payload, kind))
+        due = self.now + delay
+        key = (dst, due)
+        batch = self._batches.get(key)
+        seq = next(self._seq)
+        if batch is None:
+            self._batches[key] = [(seq, src, payload, kind)]
+            heapq.heappush(self._heap, _Event(due, seq, "deliver_batch", dst, None))
+        else:
+            batch.append((seq, src, payload, kind))
 
     def _perform(self, pid: int, unit: int) -> None:
         if self.tracker is not None:
@@ -169,8 +209,7 @@ class AsyncEngine:
         while self._heap and not self._all_retired():
             event = heapq.heappop(self._heap)
             self.now = max(self.now, event.time)
-            self._dispatch(event)
-            events += 1
+            events += self._dispatch(event)
             if events > self.max_events:
                 raise BudgetExceeded(f"exceeded max_events={self.max_events}")
         if not self._all_retired() and self._any_live():
@@ -179,7 +218,9 @@ class AsyncEngine:
             )
         return self._result()
 
-    def _dispatch(self, event: _Event) -> None:
+    def _dispatch(self, event: _Event) -> int:
+        """Handle one popped event; return how many events it consumed
+        against ``max_events`` (a delivery batch counts one per copy)."""
         process = self.processes[event.pid]
         if event.kind == "crash":
             if not process.retired:
@@ -192,17 +233,59 @@ class AsyncEngine:
                         self.fd_rng, observer.pid, event.pid
                     )
                     self._schedule(delay, "suspect", observer.pid, event.pid)
-            return
+            return 1
+        if event.kind == "deliver_batch":
+            return self._deliver_batch(event)
         if process.retired:
-            return
+            return 1
         ctx = AsyncContext(self, process.pid)
         if event.kind == "deliver":
+            # Per-copy path: kept for the reference (oracle) engine in
+            # tests/test_async_equivalence.py.
             src, payload, kind = event.payload
             process.on_message(ctx, src, payload, kind)
         elif event.kind == "wake":
             process.on_wake(ctx, event.payload)
         elif event.kind == "suspect":
             process.on_suspect(ctx, event.payload)
+        return 1
+
+    def _deliver_batch(self, event: _Event) -> int:
+        """Deliver every copy batched at ``(event.pid, event.time)``.
+
+        Copies are handed over in send (sequence) order; if any other
+        queued event sorts between two copies at the same instant, the
+        undelivered suffix is re-pushed under the next copy's sequence
+        number so global (time, seq) dispatch order is exactly the
+        per-copy engine's.
+        """
+        time = event.time
+        key = (event.pid, time)
+        batch = self._batches.get(key)
+        if batch is None:  # pragma: no cover - defensive; keys are unique
+            return 1
+        process = self.processes[event.pid]
+        heap = self._heap
+        ctx = AsyncContext(self, event.pid)
+        delivered = 0
+        # A re-pushed batch event carries its resume index; the batch list
+        # is append-only while in flight, so indices stay valid.
+        index = event.payload or 0
+        while index < len(batch):
+            seq, src, payload, kind = batch[index]
+            if heap:
+                head = heap[0]
+                if head.time < time or (head.time == time and head.seq < seq):
+                    heapq.heappush(
+                        heap, _Event(time, seq, "deliver_batch", event.pid, index)
+                    )
+                    return max(delivered, 1)
+            index += 1
+            delivered += 1
+            if not process.retired:
+                process.on_message(ctx, src, payload, kind)
+        del self._batches[key]
+        return max(delivered, 1)
 
     # ---- results ---------------------------------------------------------------------
 

@@ -70,7 +70,7 @@ from repro.errors import (
     SimulationStalled,
 )
 from repro.sim.actions import Action, Envelope, MessageKind, Send
-from repro.sim.crashes import CrashDirective, CrashPhase
+from repro.sim.crashes import CrashDirective
 from repro.sim.metrics import Metrics, RunResult
 from repro.sim.process import Process
 from repro.sim.rng import derive_rng, make_rng

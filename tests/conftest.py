@@ -5,11 +5,9 @@ from __future__ import annotations
 import pytest
 
 from repro.sim.adversary import (
-    Cascade,
     CrashMidBroadcast,
     FixedSchedule,
     KillActive,
-    NoFailures,
     RandomCrashes,
 )
 from repro.sim.crashes import CrashDirective

@@ -1,15 +1,9 @@
 """Analysis layer: bounds, tables, sweeps and the experiment registry."""
 
-import math
 
 from repro.analysis import bounds
-from repro.analysis.experiments import (
-    REGISTRY,
-    experiment_e7,
-    run_all,
-    run_experiment,
-)
-from repro.analysis.sweep import WorstCase, worst_case
+from repro.analysis.experiments import REGISTRY, experiment_e7, run_experiment
+from repro.analysis.sweep import worst_case
 from repro.analysis.tables import format_number, render_dict_rows, render_table
 from repro.sim.adversary import RandomCrashes
 

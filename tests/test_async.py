@@ -4,15 +4,9 @@ import math
 
 import pytest
 
-from repro.core.protocol_a_async import AsyncProtocolAProcess, build_async_protocol_a
+from repro.core.protocol_a_async import build_async_protocol_a
 from repro.errors import SimulationStalled
-from repro.sim.actions import MessageKind
-from repro.sim.async_engine import (
-    AsyncContext,
-    AsyncEngine,
-    AsyncProcess,
-    uniform_delays,
-)
+from repro.sim.async_engine import AsyncEngine, AsyncProcess, uniform_delays
 from repro.sim.failure_detector import FailureDetector
 from repro.work.tracker import WorkTracker
 

@@ -64,7 +64,7 @@ def test_units_at_surviving_sites_always_done(schedule, crashes, seed):
     processes = build_dynamic_protocol_d(T, schedule, cycle_length=10)
     tracker = WorkTracker(schedule.total_units)
     engine = Engine(processes, tracker=tracker, adversary=crashes, seed=seed)
-    result = engine.run()
+    engine.run()
     crashed = {p.pid for p in processes if p.crashed}
     recoverable = {
         unit for _, site, unit in schedule.arrivals if site not in crashed

@@ -14,7 +14,7 @@ from repro.errors import (
 from repro.sim.actions import Action, Envelope, MessageKind, Send
 from repro.sim.adversary import FixedSchedule
 from repro.sim.crashes import CrashDirective, CrashPhase
-from repro.sim.engine import Adversary, Engine
+from repro.sim.engine import Engine
 from repro.sim.process import Process
 from repro.sim.trace import Trace
 from repro.work.tracker import WorkTracker

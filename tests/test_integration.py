@@ -1,8 +1,6 @@
 """Cross-protocol integration tests: the paper's comparative claims."""
 
-import math
 
-import pytest
 
 from repro import run_protocol
 from repro.sim.adversary import KillActive, RandomCrashes

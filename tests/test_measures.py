@@ -1,7 +1,7 @@
 """The available-processor-steps measure (Section 1.1)."""
 
 from repro import run_protocol
-from repro.sim.adversary import FixedSchedule, StaggeredWorkKills
+from repro.sim.adversary import FixedSchedule
 from repro.sim.crashes import CrashDirective
 
 

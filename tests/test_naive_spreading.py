@@ -1,6 +1,5 @@
 """The Section 3 naive knowledge-spreading algorithm and its blow-up."""
 
-import pytest
 
 from repro import run_protocol
 from repro.analysis import bounds

@@ -2,7 +2,6 @@
 schedules.  These are the paper's core theorems quantified over the
 crash patterns hypothesis can reach."""
 
-import math
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

@@ -12,9 +12,8 @@ from repro.sim.adversary import (
     KillActive,
     RandomCrashes,
 )
-from repro.sim.crashes import CrashDirective, CrashPhase
+from repro.sim.crashes import CrashDirective
 from repro.sim.trace import Trace
-from repro.work.tracker import WorkTracker
 from tests.conftest import adversary_battery, all_but_one_dead
 
 N, T = 128, 16

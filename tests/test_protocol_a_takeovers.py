@@ -2,7 +2,6 @@
 process at each distinct phase of its checkpointing cycle and verify the
 successor resumes correctly (the DoWork dispatch of Section 2.1)."""
 
-import pytest
 
 from repro.core.chunks import SubchunkPlan
 from repro.core.groups import SqrtGroups

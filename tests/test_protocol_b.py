@@ -6,7 +6,7 @@ from repro import run_protocol
 from repro.analysis import bounds
 from repro.sim.actions import MessageKind
 from repro.sim.adversary import FixedSchedule, KillActive, RandomCrashes
-from repro.sim.crashes import CrashDirective, CrashPhase
+from repro.sim.crashes import CrashDirective
 from repro.sim.trace import Trace
 from tests.conftest import adversary_battery, all_but_one_dead
 

@@ -6,7 +6,7 @@ go-ahead pacing is PTO rounds, and responses arrive before the next tick.
 """
 
 from repro.core.deadlines import ProtocolBDeadlines
-from repro.core.protocol_b import ProtocolBProcess, build_protocol_b
+from repro.core.protocol_b import build_protocol_b
 from repro.sim.actions import MessageKind
 from repro.sim.adversary import FixedSchedule, KillActive
 from repro.sim.crashes import CrashDirective

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro import run_protocol
 from repro.analysis import bounds

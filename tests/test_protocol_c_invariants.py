@@ -16,9 +16,7 @@ from typing import Dict, List
 
 from repro.core.protocol_c import ProtocolCProcess
 from repro.core.registry import build_processes
-from repro.sim.actions import Action
 from repro.sim.adversary import Adversary, KillActive, RandomCrashes
-from repro.sim.crashes import CrashDirective
 from repro.sim.engine import Engine
 from repro.work.tracker import WorkTracker
 

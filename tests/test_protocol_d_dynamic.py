@@ -15,8 +15,7 @@ from repro.core.protocol_d_dynamic import (
     uniform_arrivals,
 )
 from repro.errors import ConfigurationError
-from repro.sim.adversary import FixedSchedule, RandomCrashes, StaggeredWorkKills
-from repro.sim.crashes import CrashDirective
+from repro.sim.adversary import RandomCrashes, StaggeredWorkKills
 from repro.sim.engine import Engine
 from repro.work.tracker import WorkTracker
 

@@ -1,8 +1,6 @@
 """Trace, RNG, failure-detector configuration and the report generator."""
 
-from pathlib import Path
 
-import pytest
 
 from repro.analysis.experiments import ExperimentResult
 from repro.analysis.report import main as report_main

@@ -5,7 +5,7 @@ import pytest
 from repro import run_protocol
 from repro.analysis.verify import verify_run
 from repro.errors import ConfigurationError
-from repro.sim.adversary import KillActive, RandomCrashes, StaggeredWorkKills
+from repro.sim.adversary import KillActive, StaggeredWorkKills
 
 
 @pytest.mark.parametrize("protocol", ["A", "B", "C", "C-batched"])

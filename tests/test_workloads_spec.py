@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.sim.actions import MessageKind, Send
 from repro.work.spec import WorkSpec
-from repro.work.workloads import SCENARIOS, scenario, scenario_names
+from repro.work.workloads import scenario, scenario_names
 
 
 def test_scenarios_exist():
