@@ -5,6 +5,11 @@ Times a handful of representative simulation scenarios and writes a
 machine-readable ``BENCH_engine.json`` at the repo root so successive
 PRs can track the performance trajectory of the synchronous engine.
 
+Scenarios are pure data: each entry below is a serialized
+:class:`repro.api.Scenario` dict (protocol, engine, adversary spec,
+delay model, limits), so adding a benchmark case means adding a dict -
+the same dict ``python -m repro run --scenario`` accepts.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # full run
@@ -27,109 +32,114 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.core.protocol_a_async import build_async_protocol_a  # noqa: E402
-from repro.core.registry import run_protocol  # noqa: E402
-from repro.sim.adversary import KillActive, RandomCrashes  # noqa: E402
-from repro.sim.async_engine import AsyncEngine, uniform_delays  # noqa: E402
-from repro.work.tracker import WorkTracker  # noqa: E402
+from repro.api import Scenario  # noqa: E402
 
+SMOKE_SCENARIOS = [
+    {
+        "name": "A_small",
+        "protocol": "A",
+        "n": 64,
+        "t": 8,
+        "adversary": "random:4,max_action_index=10",
+        "seed": 1,
+    },
+    {
+        "name": "C_exponential_rounds_small",
+        "protocol": "C",
+        "n": 16,
+        "t": 4,
+        "adversary": "kill-active:3,actions_before_kill=2",
+        "seed": 1,
+    },
+    {
+        "name": "D_small",
+        "protocol": "D",
+        "n": 64,
+        "t": 8,
+        "adversary": "random:3,max_action_index=10",
+        "seed": 1,
+    },
+    {
+        "name": "D_large_t_small",
+        "protocol": "D",
+        "n": 128,
+        "t": 16,
+        "adversary": "random:4,max_action_index=10",
+        "seed": 1,
+    },
+    {
+        "name": "A_async_small",
+        "protocol": "A-async",
+        "engine": "async",
+        "n": 64,
+        "t": 8,
+        "delay": "uniform:0.5,4.0",
+        "crash_times": {pid: 4.0 + 7.0 * pid for pid in range(2)},
+        "seed": 1,
+    },
+]
 
-def _run_async_a(n: int, t: int, crashes: int, seed: int):
-    """Async Protocol A under the batched-delivery event loop."""
-    processes = build_async_protocol_a(n, t)
-    crash_times = {pid: 4.0 + 7.0 * pid for pid in range(crashes)}
-    engine = AsyncEngine(
-        processes,
-        tracker=WorkTracker(n),
-        seed=seed,
-        crash_times=crash_times,
-        delay_model=uniform_delays(),
-    )
-    return engine.run()
+FULL_SCENARIOS = [
+    {
+        "name": "A_n4096_t64",
+        "protocol": "A",
+        "n": 4096,
+        "t": 64,
+        "adversary": "random:32,max_action_index=25",
+        "seed": 1,
+    },
+    {
+        "name": "C_exponential_rounds",
+        "protocol": "C",
+        "n": 64,
+        "t": 16,
+        "adversary": "kill-active:15,actions_before_kill=2",
+        "seed": 1,
+    },
+    {
+        "name": "D_n4096_t64",
+        "protocol": "D",
+        "n": 4096,
+        "t": 64,
+        "adversary": "random:20,max_action_index=30",
+        "seed": 1,
+    },
+    {
+        "name": "A_n4096_t4096",
+        "protocol": "A",
+        "n": 4096,
+        "t": 4096,
+        "adversary": "random:1024,max_action_index=25",
+        "seed": 1,
+    },
+    {
+        # The bitset tentpole scenario: t^2 agreement messages per
+        # round, each folding an n-unit outstanding set.
+        "name": "D_n8192_t256",
+        "protocol": "D",
+        "n": 8192,
+        "t": 256,
+        "adversary": "random:64,max_action_index=40",
+        "seed": 1,
+    },
+    {
+        "name": "A_async_n4096_t64",
+        "protocol": "A-async",
+        "engine": "async",
+        "n": 4096,
+        "t": 64,
+        "delay": "uniform:0.5,4.0",
+        "crash_times": {pid: 4.0 + 7.0 * pid for pid in range(16)},
+        "seed": 1,
+    },
+]
 
 
 def _scenarios(smoke: bool):
-    """(name, callable) pairs; callables return a RunResult.
-
-    The full set mirrors ``bench_engine_scaling.py`` plus a large-``t``
-    scenario (t = 4096) that exercises the event-indexed scheduler where
-    the seed engine's per-round O(t) rescans used to dominate, a
-    large-``t`` Protocol D scenario where the bitset agreement fold
-    replaces the former O(t^2 n) per-phase-round set churn, and an async
-    Protocol A scenario on the batched-delivery event loop.
-    """
-    if smoke:
-        return [
-            (
-                "A_small",
-                lambda: run_protocol(
-                    "A", 64, 8, adversary=RandomCrashes(4, max_action_index=10), seed=1
-                ),
-            ),
-            (
-                "C_exponential_rounds_small",
-                lambda: run_protocol(
-                    "C", 16, 4, adversary=KillActive(3, actions_before_kill=2), seed=1
-                ),
-            ),
-            (
-                "D_small",
-                lambda: run_protocol(
-                    "D", 64, 8, adversary=RandomCrashes(3, max_action_index=10), seed=1
-                ),
-            ),
-            (
-                "D_large_t_small",
-                lambda: run_protocol(
-                    "D", 128, 16, adversary=RandomCrashes(4, max_action_index=10), seed=1
-                ),
-            ),
-            (
-                "A_async_small",
-                lambda: _run_async_a(64, 8, crashes=2, seed=1),
-            ),
-        ]
+    """(name, Scenario) pairs built from the data tables above."""
     return [
-        (
-            "A_n4096_t64",
-            lambda: run_protocol(
-                "A", 4096, 64, adversary=RandomCrashes(32, max_action_index=25), seed=1
-            ),
-        ),
-        (
-            "C_exponential_rounds",
-            lambda: run_protocol(
-                "C", 64, 16, adversary=KillActive(15, actions_before_kill=2), seed=1
-            ),
-        ),
-        (
-            "D_n4096_t64",
-            lambda: run_protocol(
-                "D", 4096, 64, adversary=RandomCrashes(20, max_action_index=30), seed=1
-            ),
-        ),
-        (
-            "A_n4096_t4096",
-            lambda: run_protocol(
-                "A",
-                4096,
-                4096,
-                adversary=RandomCrashes(1024, max_action_index=25),
-                seed=1,
-            ),
-        ),
-        (
-            # The bitset tentpole scenario: t^2 agreement messages per
-            # round, each folding an n-unit outstanding set.
-            "D_n8192_t256",
-            lambda: run_protocol(
-                "D", 8192, 256, adversary=RandomCrashes(64, max_action_index=40), seed=1
-            ),
-        ),
-        (
-            "A_async_n4096_t64",
-            lambda: _run_async_a(4096, 64, crashes=16, seed=1),
-        ),
+        (spec["name"], Scenario.from_dict(spec))
+        for spec in (SMOKE_SCENARIOS if smoke else FULL_SCENARIOS)
     ]
 
 
@@ -142,7 +152,7 @@ def run(smoke: bool, repeat: int, out_path: Path) -> int:
         try:
             for _ in range(repeat):
                 start = time.perf_counter()
-                result = scenario()
+                result = scenario.run()
                 timings.append(time.perf_counter() - start)
         except Exception as exc:  # pragma: no cover - crash reporting path
             print(f"{name}: FAILED ({type(exc).__name__}: {exc})")
@@ -161,6 +171,7 @@ def run(smoke: bool, repeat: int, out_path: Path) -> int:
             "messages": result.metrics.messages_total,
             "virtual_rounds": float(result.metrics.retire_round),
             "completed": result.completed,
+            "scenario": scenario.to_dict(),
         }
         results.append(row)
         print(

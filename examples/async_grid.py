@@ -8,21 +8,31 @@ the async variant over a jittery network (message delays 0.5x-6x the
 compute step) while workstations drop out, and shows the effort profile
 matches the synchronous protocol's bounds.
 
+Async runs use the same declarative :class:`repro.Scenario` as sync
+ones: the protocol name resolves to the async engine through the
+registry, the delay model is a spec string, crashes are scheduled times,
+and the whole thing round-trips through JSON like any other scenario.
+
 Run:  python examples/async_grid.py
 """
 
 import math
 
+from repro import Scenario
 from repro.analysis.tables import render_table
-from repro.core.protocol_a_async import build_async_protocol_a
-from repro.sim.async_engine import AsyncEngine, uniform_delays
-from repro.sim.failure_detector import FailureDetector
-from repro.work.tracker import WorkTracker
 
 
 def main() -> None:
     n, t = 200, 25
     print(f"Async Do-All: n={n} units, t={t} processes, crash-prone network\n")
+
+    base = Scenario(
+        protocol="A-async",
+        n=n,
+        t=t,
+        delay="uniform:0.5,6.0",
+        failure_detector={"min_delay": 2.0, "max_delay": 10.0},
+    )
 
     rows = []
     for label, crash_times, seed in [
@@ -31,17 +41,7 @@ def main() -> None:
         ("rolling failures", {pid: 4.0 + 11.0 * pid for pid in range(12)}, 3),
         ("mass failure at t=30", {pid: 30.0 for pid in range(t - 1)}, 4),
     ]:
-        processes = build_async_protocol_a(n, t)
-        tracker = WorkTracker(n)
-        engine = AsyncEngine(
-            processes,
-            tracker=tracker,
-            seed=seed,
-            delay_model=uniform_delays(0.5, 6.0),
-            failure_detector=FailureDetector(min_delay=2.0, max_delay=10.0),
-            crash_times=crash_times,
-        )
-        result = engine.run()
+        result = base.replace(crash_times=crash_times or None, seed=seed).run()
         assert result.completed, label
         metrics = result.metrics
         rows.append(

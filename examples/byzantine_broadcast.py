@@ -8,13 +8,17 @@ survives, every process is informed; the protocols' takeover discipline
 guarantees everyone ends up with the *same* value even when the general
 crashes mid-broadcast (the classic hard case).
 
+The nasty crash schedule is written as a declarative adversary spec (the
+same grammar ``Scenario`` files and the ``--adversary`` CLI flag use): a
+``compose`` of a ``fixed-schedule`` directive killing the general during
+its round-0 broadcast, plus ``random`` crashes among the other senders.
+
 Run:  python examples/byzantine_broadcast.py
 """
 
 from repro.agreement.byzantine import ByzantineAgreement
 from repro.analysis.tables import render_table
-from repro.sim.adversary import FixedSchedule, RandomCrashes, compose
-from repro.sim.crashes import CrashDirective, CrashPhase
+from repro.sim.adversary import adversary_from_spec
 
 
 def main() -> None:
@@ -25,19 +29,29 @@ def main() -> None:
         f"up to {t} crash failures, {t + 1} senders\n"
     )
 
+    adversary_spec = {
+        "kind": "compose",
+        "parts": [
+            {
+                "kind": "fixed-schedule",
+                "directives": [{"pid": 0, "at_round": 0, "phase": "during_send"}],
+            },
+            {
+                "kind": "random",
+                "count": t - 1,
+                "max_action_index": 10,
+                "victims": list(range(1, t + 1)),
+            },
+        ],
+    }
+
     rows = []
     for protocol in ["A", "B", "C"]:
         # The nasty schedule: the general crashes mid-broadcast (an
         # arbitrary subset of senders is informed), and more senders die
         # at random points of the work protocol.
-        adversary = compose(
-            FixedSchedule(
-                [CrashDirective(pid=0, at_round=0, phase=CrashPhase.DURING_SEND)]
-            ),
-            RandomCrashes(t - 1, max_action_index=10, victims=list(range(1, t + 1))),
-        )
         ba = ByzantineAgreement(n_system, t, protocol=protocol)
-        outcome = ba.run(value, adversary=adversary, seed=9)
+        outcome = ba.run(value, adversary=adversary_from_spec(adversary_spec), seed=9)
         decided = sorted(set(outcome.decisions.values()))
         rows.append(
             [

@@ -8,7 +8,9 @@ is Protocol D territory: work in parallel, agree on progress, and - if a
 whole lab's worth of machines is reclaimed at once - fall back to the
 sequential checkpointing protocol among whoever is left.
 
-The example runs three mornings:
+The example runs three mornings, each a :class:`repro.Scenario` whose
+only difference is the ``staggered`` adversary spec (victims and the
+number of units each performs before its machine is reclaimed):
   * a quiet one (nobody reclaims),
   * a normal one (a few machines reclaimed mid-phase),
   * a rush morning (most machines reclaimed at 9am sharp -> reversion).
@@ -16,15 +18,14 @@ The example runs three mornings:
 Run:  python examples/idle_workstations.py
 """
 
+from repro import Scenario
 from repro.analysis.tables import render_table
-from repro.core.registry import run_protocol
 from repro.sim.actions import MessageKind
-from repro.sim.adversary import StaggeredWorkKills
 from repro.work.workloads import idle_workstation_jobs
 
 
-def morning(label, n, t, adversary, seed):
-    result = run_protocol("D", n, t, adversary=adversary, seed=seed)
+def morning(base, label, adversary, seed):
+    result = base.replace(adversary=adversary, seed=seed).run()
     metrics = result.metrics
     reverted = (
         metrics.messages_of(MessageKind.PARTIAL_CHECKPOINT)
@@ -49,20 +50,14 @@ def main() -> None:
         f"workstations (Protocol D)\n"
     )
 
+    base = Scenario(protocol="D", n=n_jobs, t=t_machines)
     rows = [
-        morning("quiet morning", n_jobs, t_machines, None, 1),
+        morning(base, "quiet morning", None, 1),
+        morning(base, "normal morning (3 reclaimed)", "staggered:2x3+5x6+9x2", 2),
         morning(
-            "normal morning (3 reclaimed)",
-            n_jobs,
-            t_machines,
-            StaggeredWorkKills.plan([(2, 3), (5, 6), (9, 2)]),
-            2,
-        ),
-        morning(
+            base,
             "rush morning (8 reclaimed at once)",
-            n_jobs,
-            t_machines,
-            StaggeredWorkKills.plan([(pid, 1) for pid in range(8)]),
+            {"kind": "staggered", "kills": [[pid, 1] for pid in range(8)]},
             3,
         ),
     ]

@@ -11,12 +11,14 @@ failure count and shows where each protocol's regime begins:
 * message-bound -> Protocol C wins outright (O(n + t log t) messages)
   if you can tolerate its (simulated) exponential round counts.
 
+Each grid point is one declarative :class:`repro.Scenario`; the failure
+axis just swaps the adversary spec string.
+
 Run:  python examples/proof_checking_race.py
 """
 
+from repro import Scenario
 from repro.analysis.tables import render_table
-from repro.core.registry import run_protocol
-from repro.sim.adversary import RandomCrashes
 from repro.work.workloads import proof_checking
 
 
@@ -25,13 +27,14 @@ def main() -> None:
     spec = proof_checking(n)
     print(f"Scenario: {spec.name} - {n} proof steps over {t} checkers\n")
 
+    base = Scenario(protocol="A", n=n, t=t, seed=17)
     rows = []
     for failures in [0, 4, 12, 24]:
+        adversary = (
+            f"random:{failures},max_action_index=30" if failures else None
+        )
         for protocol in ["A", "B", "C", "D"]:
-            adversary = (
-                RandomCrashes(failures, max_action_index=30) if failures else None
-            )
-            result = run_protocol(protocol, n, t, adversary=adversary, seed=17)
+            result = base.replace(protocol=protocol, adversary=adversary).run()
             metrics = result.metrics
             rows.append(
                 [

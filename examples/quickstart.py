@@ -1,20 +1,33 @@
 #!/usr/bin/env python
-"""Quickstart: run each protocol on the same workload and compare.
+"""Quickstart: one declarative Scenario, fanned over every protocol.
 
 The Do-All problem: ``t`` crash-prone processes must perform ``n``
 idempotent units of work so that the work completes in every execution
-with at least one survivor.  This script runs the paper's four protocols
-and two straw-man baselines against the same adversary and prints the
-paper's three complexity measures (work, messages, rounds) plus effort.
+with at least one survivor.  This script describes the workload *once*
+as a :class:`repro.Scenario` - protocol, shape, adversary spec, seed -
+then sweeps it across the paper's four protocols and two straw-man
+baselines and prints the paper's three complexity measures (work,
+messages, rounds) plus effort.
+
+The scenario is plain data: ``scenario.to_json()`` is exactly what
+``python -m repro run --scenario FILE`` accepts.
 
 Run:  python examples/quickstart.py [n] [t]
 """
 
 import sys
 
-from repro import run_protocol
+from repro import Scenario
 from repro.analysis.tables import render_table
-from repro.sim.adversary import RandomCrashes
+
+PROTOCOLS = [
+    ("replicate", {}),
+    ("naive", {"interval": 1}),
+    ("A", {}),
+    ("B", {}),
+    ("C", {}),
+    ("D", {}),
+]
 
 
 def main() -> None:
@@ -23,23 +36,17 @@ def main() -> None:
     failures = t // 2
     print(f"Do-All: n={n} units, t={t} processes, {failures} random crashes\n")
 
+    base = Scenario(
+        protocol="A",
+        n=n,
+        t=t,
+        adversary=f"random:{failures},max_action_index=20",
+        seed=42,
+    )
+
     rows = []
-    for protocol, options in [
-        ("replicate", {}),
-        ("naive", {"interval": 1}),
-        ("A", {}),
-        ("B", {}),
-        ("C", {}),
-        ("D", {}),
-    ]:
-        result = run_protocol(
-            protocol,
-            n,
-            t,
-            adversary=RandomCrashes(failures, max_action_index=20),
-            seed=42,
-            **options,
-        )
+    for protocol, options in PROTOCOLS:
+        result = base.replace(protocol=protocol, options=options).run()
         metrics = result.metrics
         rows.append(
             [
@@ -58,13 +65,8 @@ def main() -> None:
             rows,
         )
     )
-    print(
-        "\nReading the table: the baselines burn Theta(t*n) effort (replicate in"
-        "\nwork, the naive checkpointer in messages); Protocols A/B spend"
-        "\nO(n + t^1.5) effort; C gets messages down to O(n + t log t) at an"
-        "\nastronomical round count (simulated via deadline fast-forward); and D"
-        "\nfinishes in ~n/t rounds by working in parallel, paying in messages."
-    )
+    print("\nThe same run, addressable as data (python -m repro run --scenario):")
+    print(base.to_json())
 
 
 if __name__ == "__main__":

@@ -9,22 +9,32 @@ and the *completion* of old ones.  This example streams 60 jobs into an
 8-site system while sites fail, and verifies the deliverable guarantee:
 every job that arrived at a site that never crashed gets done.
 
+The dynamic protocol's builder takes an arrival *schedule*, not a static
+``(n, t)`` shape, so this example drives the engine directly; the crash
+schedules are still declarative ``staggered`` adversary specs (the same
+grammar Scenario files use).
+
 Run:  python examples/streaming_jobs.py
 """
 
 from repro.analysis.tables import render_table
 from repro.core.protocol_d_dynamic import build_dynamic_protocol_d, uniform_arrivals
-from repro.sim.adversary import StaggeredWorkKills
+from repro.sim.adversary import adversary_from_spec
 from repro.sim.engine import Engine
 from repro.work.tracker import WorkTracker
 
 
-def run_day(label, adversary, seed):
+def run_day(label, adversary_spec, seed):
     n_jobs, t_sites = 60, 8
     schedule = uniform_arrivals(n_jobs, t_sites, every=3)
     processes = build_dynamic_protocol_d(t_sites, schedule, cycle_length=14)
     tracker = WorkTracker(n_jobs)
-    engine = Engine(processes, tracker=tracker, adversary=adversary, seed=seed)
+    engine = Engine(
+        processes,
+        tracker=tracker,
+        adversary=adversary_from_spec(adversary_spec),
+        seed=seed,
+    )
     result = engine.run()
 
     crashed = {p.pid for p in processes if p.crashed}
@@ -49,12 +59,8 @@ def main() -> None:
     print("Streaming Do-All: 60 jobs arriving over time at 8 sites\n")
     rows = [
         run_day("calm day", None, 1),
-        run_day("one site dies", StaggeredWorkKills.plan([(3, 2)]), 2),
-        run_day(
-            "three sites die",
-            StaggeredWorkKills.plan([(1, 1), (4, 3), (6, 2)]),
-            3,
-        ),
+        run_day("one site dies", "staggered:3x2", 2),
+        run_day("three sites die", "staggered:1x1+4x3+6x2", 3),
     ]
     print(
         render_table(

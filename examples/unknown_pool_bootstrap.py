@@ -11,16 +11,21 @@ doubling the cost when n = Omega(t).
 This example gives only process 0 the job list (40 database ranges to
 scan), runs the two stages over Protocol B, and prints the per-stage
 costs - including the run where the only knower crashes halfway through
-announcing the pool.
+announcing the pool.  Both stages' crash schedules are declarative
+adversary specs built with :func:`repro.sim.adversary.adversary_from_spec`.
 
 Run:  python examples/unknown_pool_bootstrap.py
 """
 
 from repro.agreement.bootstrap import run_with_unknown_pool
 from repro.analysis.tables import render_table
-from repro.sim.adversary import FixedSchedule, RandomCrashes
-from repro.sim.crashes import CrashDirective, CrashPhase
+from repro.sim.adversary import adversary_from_spec
 from repro.work.workloads import database_scan
+
+KNOWER_DIES_MID_ANNOUNCEMENT = {
+    "kind": "fixed-schedule",
+    "directives": [{"pid": 0, "at_round": 0, "phase": "during_send"}],
+}
 
 
 def main() -> None:
@@ -33,26 +38,26 @@ def main() -> None:
     )
 
     rows = []
-    for label, adv1, adv2, seed in [
+    for label, spec1, spec2, seed in [
         ("all healthy", None, None, 1),
         (
             "crashes during both stages",
-            RandomCrashes(3, max_action_index=10, victims=list(range(1, 7))),
-            RandomCrashes(3, max_action_index=15),
+            "random:3,max_action_index=10,victims=1..6",
+            "random:3,max_action_index=15",
             2,
         ),
         (
             "knower dies mid-announcement",
-            FixedSchedule(
-                [CrashDirective(pid=0, at_round=0, phase=CrashPhase.DURING_SEND)]
-            ),
+            KNOWER_DIES_MID_ANNOUNCEMENT,
             None,
             3,
         ),
     ]:
         outcome = run_with_unknown_pool(
             pool, t, protocol="B",
-            adversary_stage1=adv1, adversary_stage2=adv2, seed=seed,
+            adversary_stage1=adversary_from_spec(spec1),
+            adversary_stage2=adversary_from_spec(spec2),
+            seed=seed,
         )
         pool_size = len(outcome.agreed_pool or ())
         rows.append(

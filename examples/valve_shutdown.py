@@ -11,11 +11,14 @@ kills the controller that is currently doing the checking - right after
 it senses a valve but before it can report (the paper's worst case for
 redone work) - and narrates the takeover chain from the execution trace.
 
+The run is one declarative :class:`repro.Scenario`; the trace is a
+runtime observer passed to ``run()`` (deliberately not part of the
+serialized scenario).
+
 Run:  python examples/valve_shutdown.py
 """
 
-from repro.core.registry import run_protocol
-from repro.sim.adversary import KillActive
+from repro import Scenario
 from repro.sim.trace import Trace
 from repro.work.workloads import valve_shutdown
 
@@ -26,16 +29,15 @@ def main() -> None:
     print(f"Scenario: {spec.name} - {n_valves} valves, {t_controllers} controllers")
     print(f"example unit: {spec.describe_unit(7)!r}\n")
 
-    trace = Trace(enabled=True)
-    adversary = KillActive(t_controllers - 1, actions_before_kill=8)
-    result = run_protocol(
-        "B",
-        n_valves,
-        t_controllers,
-        adversary=adversary,
+    scenario = Scenario(
+        protocol="B",
+        n=n_valves,
+        t=t_controllers,
+        adversary=f"kill-active:{t_controllers - 1},actions_before_kill=8",
         seed=11,
-        trace=trace,
     )
+    trace = Trace(enabled=True)
+    result = scenario.run(trace=trace)
 
     print("Takeover chain (controller, takeover round):")
     for round_number, pid in trace.activations():

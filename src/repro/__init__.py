@@ -9,16 +9,25 @@ that regenerates every quantitative claim of the paper.
 
 Quickstart::
 
+    from repro import Scenario
+
+    result = Scenario(protocol="A", n=400, t=16, adversary="random:8", seed=1).run()
+    assert result.completed
+    print(result.summary())
+
+or, the classic synchronous shorthand::
+
     from repro import run_protocol
     from repro.sim.adversary import RandomCrashes
 
     result = run_protocol("A", n=400, t=16, adversary=RandomCrashes(8), seed=1)
-    assert result.completed
-    print(result.summary())
+
+See ``docs/api.md`` for the declarative Scenario/Sweep tour.
 """
 
 from repro.agreement.byzantine import AgreementOutcome, ByzantineAgreement
 from repro.analysis.verify import VerificationReport, verify_run
+from repro.api import ResultSet, Scenario, Sweep
 from repro.core.registry import available_protocols, build_processes, run_protocol
 from repro.errors import (
     AdversaryError,
@@ -46,8 +55,11 @@ __all__ = [
     "InvariantViolation",
     "Metrics",
     "ReproError",
+    "ResultSet",
     "RunResult",
+    "Scenario",
     "SimulationStalled",
+    "Sweep",
     "VerificationReport",
     "WorkSpec",
     "WorkTracker",

@@ -5,49 +5,109 @@ Subcommands:
 * ``run`` - simulate one protocol execution and print its accounting::
 
       python -m repro run B --n 256 --t 16 --crashes 8 --seed 7
+      python -m repro run a-async --engine async --n 128 --t 16 --json
+      python -m repro run B --adversary "kill-active:7,actions_before_kill=3"
+      python -m repro run --scenario scenario.json --json
 
 * ``compare`` - run several protocols on the same workload and print the
   comparison table::
 
-      python -m repro compare --n 256 --t 16 --crashes 8
+      python -m repro compare --n 256 --t 16 --crashes 8 [--json]
 
 * ``report`` - regenerate EXPERIMENTS.md (same as
   ``python -m repro.analysis.report``)::
 
       python -m repro report --quick
 
-* ``list`` - list registered protocols.
+* ``list`` - list registered protocols with engine kind and description.
+
+Adversaries come from declarative specs (``--adversary KIND:ARGS``, see
+``docs/api.md``); ``--crashes`` and ``--kill-active`` remain as
+shorthands and *compose* when both are given.  ``--json`` emits the
+machine-readable :meth:`RunResult.to_dict` payload (metrics, completion,
+scenario config echo) instead of the table.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.analysis.tables import render_table
-from repro.core.registry import available_protocols, run_protocol
-from repro.sim.adversary import KillActive, RandomCrashes
+from repro.api import ENGINE_CHOICES, Scenario
+from repro.core.registry import available_protocols, get_entry
 
 
-def _make_adversary(args):
+def _adversary_spec(args):
+    """Merge ``--adversary`` with the ``--crashes``/``--kill-active``
+    shorthands into one spec (composing when several are given)."""
+    specs = []
+    if getattr(args, "adversary", None):
+        specs.append(args.adversary)
     if getattr(args, "kill_active", 0):
-        return KillActive(args.kill_active, actions_before_kill=2)
+        specs.append(
+            {
+                "kind": "kill-active",
+                "budget": args.kill_active,
+                "actions_before_kill": args.actions_before_kill,
+            }
+        )
     if getattr(args, "crashes", 0):
-        return RandomCrashes(args.crashes, max_action_index=25)
-    return None
+        specs.append(
+            {
+                "kind": "random",
+                "count": args.crashes,
+                "max_action_index": args.max_action_index,
+            }
+        )
+    if not specs:
+        return None
+    if len(specs) == 1:
+        return specs[0]
+    return {"kind": "compose", "parts": specs}
+
+
+def _scenario_from_args(args, protocol: str) -> Scenario:
+    return Scenario(
+        protocol=protocol,
+        n=args.n,
+        t=args.t,
+        engine=args.engine,
+        seed=args.seed,
+        adversary=_adversary_spec(args),
+        delay=getattr(args, "delay", None),
+    )
+
+
+def _emit_result(result, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return
+    rows = sorted(result.summary().items())
+    print(render_table(["measure", "value"], [[k, _fmt(v)] for k, v in rows]))
 
 
 def _cmd_run(args) -> int:
-    result = run_protocol(
-        args.protocol,
-        args.n,
-        args.t,
-        adversary=_make_adversary(args),
-        seed=args.seed,
-    )
-    rows = sorted(result.summary().items())
-    print(render_table(["measure", "value"], [[k, _fmt(v)] for k, v in rows]))
+    if args.scenario:
+        if args.protocol:
+            print(
+                "error: give either a protocol name or --scenario FILE, not both",
+                file=sys.stderr,
+            )
+            return 2
+        scenario = Scenario.from_file(args.scenario)
+    else:
+        if not args.protocol:
+            print(
+                "error: a protocol name (or --scenario FILE) is required",
+                file=sys.stderr,
+            )
+            return 2
+        scenario = _scenario_from_args(args, args.protocol)
+    result = scenario.run()
+    _emit_result(result, args.json)
     return 0 if result.completed else 1
 
 
@@ -59,16 +119,12 @@ def _fmt(value):
 
 def _cmd_compare(args) -> int:
     rows = []
+    payload = []
     failures = 0
     for protocol in args.protocols:
-        result = run_protocol(
-            protocol,
-            args.n,
-            args.t,
-            adversary=_make_adversary(args),
-            seed=args.seed,
-        )
+        result = _scenario_from_args(args, protocol).run()
         metrics = result.metrics
+        payload.append(result.to_dict())
         rows.append(
             [
                 protocol,
@@ -80,11 +136,14 @@ def _cmd_compare(args) -> int:
             ]
         )
         failures += 0 if result.completed else 1
-    print(
-        render_table(
-            ["protocol", "work", "messages", "effort", "rounds", "completed"], rows
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            render_table(
+                ["protocol", "work", "messages", "effort", "rounds", "completed"], rows
+            )
         )
-    )
     return 0 if failures == 0 else 1
 
 
@@ -101,7 +160,11 @@ def _cmd_report(args) -> int:
 
 def _cmd_list(_args) -> int:
     for name in available_protocols():
-        print(name)
+        entry = get_entry(name)
+        suffix = f"  [{entry.engine}]"
+        if entry.description:
+            suffix += f"  {entry.description}"
+        print(f"{name}{suffix}")
     return 0
 
 
@@ -116,17 +179,70 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--t", type=int, default=16, help="processes")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument(
-            "--crashes", type=int, default=0, help="random crash count"
+            "--engine",
+            choices=list(ENGINE_CHOICES),
+            default="auto",
+            help="simulator kind (auto resolves from the protocol registry)",
+        )
+        p.add_argument(
+            "--adversary",
+            default=None,
+            metavar="SPEC",
+            help="adversary spec, e.g. 'random:8,max_action_index=25' or "
+            "'kill-active:7' (see docs/api.md for the grammar)",
+        )
+        p.add_argument(
+            "--delay",
+            default=None,
+            metavar="SPEC",
+            help="async delay model spec, e.g. 'uniform:0.5,4.0' or 'fixed:1'",
+        )
+        p.add_argument(
+            "--crashes",
+            type=int,
+            default=0,
+            help="shorthand for the random-crashes adversary (composes with "
+            "--kill-active and --adversary)",
+        )
+        p.add_argument(
+            "--max-action-index",
+            type=int,
+            default=25,
+            help="latest action at which a --crashes victim may die",
         )
         p.add_argument(
             "--kill-active",
             type=int,
             default=0,
-            help="kill-the-active-process budget (overrides --crashes)",
+            help="shorthand for the kill-the-active-process adversary (budget)",
+        )
+        p.add_argument(
+            "--actions-before-kill",
+            type=int,
+            default=2,
+            help="how many actions each active victim survives (--kill-active)",
+        )
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="emit machine-readable JSON instead of the table",
         )
 
     run_p = sub.add_parser("run", help="simulate one protocol execution")
-    run_p.add_argument("protocol", choices=[p for p in available_protocols()])
+    run_p.add_argument(
+        "protocol",
+        nargs="?",
+        default=None,
+        type=str.lower,  # registry names are case-insensitive
+        choices=[None] + available_protocols(),
+        help="registered protocol name (omit when using --scenario)",
+    )
+    run_p.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help="run a serialized Scenario JSON file instead of CLI flags",
+    )
     add_common(run_p)
     run_p.set_defaults(func=_cmd_run)
 

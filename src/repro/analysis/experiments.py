@@ -19,19 +19,14 @@ from typing import Callable, Dict, List
 
 from repro.agreement.byzantine import ByzantineAgreement
 from repro.analysis import bounds
-from repro.analysis.sweep import worst_case
-from repro.core.protocol_a_async import build_async_protocol_a
+from repro.analysis.sweep import battery, worst_case
+from repro.api import Scenario
 from repro.core.registry import run_protocol
 from repro.sim.adversary import (
-    Cascade,
-    CrashMidBroadcast,
-    KillActive,
     RandomCrashes,
     StaggeredWorkKills,
 )
-from repro.sim.async_engine import AsyncEngine
 from repro.sim.engine import Adversary
-from repro.work.tracker import WorkTracker
 
 
 @dataclass
@@ -49,16 +44,17 @@ class ExperimentResult:
 
 
 def _standard_adversaries(t: int, *, heavy: bool = True) -> List[Callable]:
-    """The adversary battery used for worst-case aggregation."""
-    battery: List[Callable] = [
-        lambda: None,
-        lambda: RandomCrashes(max(1, t // 2), max_action_index=25),
-        lambda: KillActive(t - 1, actions_before_kill=2),
-        lambda: CrashMidBroadcast(list(range(min(t, 6)))),
+    """The adversary battery used for worst-case aggregation, built from
+    declarative specs (the same grammar the CLI and Scenario files use)."""
+    specs = [
+        None,
+        f"random:{max(1, t // 2)},max_action_index=25",
+        f"kill-active:{t - 1},actions_before_kill=2",
+        {"kind": "crash-mid-broadcast", "victims": list(range(min(t, 6)))},
     ]
     if heavy:
-        battery.append(lambda: KillActive(t - 1, actions_before_kill=1))
-    return battery
+        specs.append(f"kill-active:{t - 1},actions_before_kill=1")
+    return battery(*specs)
 
 
 # =====================================================================
@@ -150,14 +146,15 @@ def experiment_e3(quick: bool = False) -> ExperimentResult:
     rows = []
     for t, n in shapes:
         adversaries = [
-            lambda: None,
-            lambda: RandomCrashes(max(1, t // 2), max_action_index=20),
-            lambda: KillActive(t - 1, actions_before_kill=3),
-            lambda t=t: Cascade(
-                lead_units=max(1, t - 1),
-                redo_units=1,
-                initial_dead=list(range(t // 2 + 1, t)),
-            ),
+            None,
+            f"random:{max(1, t // 2)},max_action_index=20",
+            f"kill-active:{t - 1},actions_before_kill=3",
+            {
+                "kind": "cascade",
+                "lead_units": max(1, t - 1),
+                "redo_units": 1,
+                "initial_dead": list(range(t // 2 + 1, t)),
+            },
         ]
         aggregate = worst_case("C", n, t, adversaries, seeds)
         wb = bounds.protocol_c_work(n, t)
@@ -208,8 +205,8 @@ def experiment_e4(quick: bool = False) -> ExperimentResult:
     rows = []
     for t, n in shapes:
         adversaries = [
-            lambda: None,
-            lambda: RandomCrashes(max(1, t // 2), max_action_index=20),
+            None,
+            f"random:{max(1, t // 2)},max_action_index=20",
         ]
         plain = worst_case("C", n, t, adversaries, seeds)
         batched = worst_case("C-batched", n, t, adversaries, seeds)
@@ -411,9 +408,9 @@ def experiment_e8(quick: bool = False) -> ExperimentResult:
     t, n = (16, 256) if quick else (25, 500)
     seeds = range(2) if quick else range(4)
     adversaries = [
-        lambda: None,
-        lambda: RandomCrashes(t // 2, max_action_index=20),
-        lambda: KillActive(t - 1, actions_before_kill=2),
+        None,
+        f"random:{t // 2},max_action_index=20",
+        f"kill-active:{t - 1},actions_before_kill=2",
     ]
     rows = []
     for protocol, options in [
@@ -461,12 +458,10 @@ def experiment_e8(quick: bool = False) -> ExperimentResult:
 
 
 def _naive_row(n, t, interval, label, seeds):
-    from repro.sim.adversary import KillBeforeCheckpoint
-
     work_target = bounds.protocol_a_work(n, t).value
     msg_target = bounds.protocol_a_messages(n, t).value
     aggregate = worst_case(
-        "naive", n, t, [lambda: KillBeforeCheckpoint(t - 1)], seeds, interval=interval
+        "naive", n, t, [f"kill-before-checkpoint:{t - 1}"], seeds, interval=interval
     )
     return {
         "scheme": label,
@@ -495,8 +490,6 @@ def experiment_e9(quick: bool = False) -> ExperimentResult:
     work/message constraint boundary and every interval fails at least
     one bound - which the full (non-quick) run demonstrates.
     """
-    from repro.sim.adversary import KillBeforeCheckpoint
-
     t, n = (16, 256) if quick else (36, 1296)
     seeds = range(1)
     work_target = bounds.protocol_a_work(n, t).value
@@ -506,7 +499,7 @@ def experiment_e9(quick: bool = False) -> ExperimentResult:
     for interval in intervals:
         rows.append(_naive_row(n, t, interval, f"naive t={t}", seeds))
     a_aggregate = worst_case(
-        "A", n, t, [lambda: KillBeforeCheckpoint(t - 1)], seeds
+        "A", n, t, [f"kill-before-checkpoint:{t - 1}"], seeds
     )
     rows.append(
         {
@@ -614,19 +607,15 @@ def experiment_e11(quick: bool = False) -> ExperimentResult:
     rows = []
     for t, n in shapes:
         sync_aggregate = worst_case(
-            "A", n, t, [lambda: RandomCrashes(t // 2, max_action_index=25)], seeds
+            "A", n, t, [f"random:{t // 2},max_action_index=25"], seeds
         )
         worst_work = 0
         worst_msgs = 0
         all_completed = True
+        crash_times = {pid: 3.0 + 9.0 * pid for pid in range(1, t // 2 + 1)}
+        scenario = Scenario(protocol="A-async", n=n, t=t, crash_times=crash_times)
         for seed in seeds:
-            crash_times = {pid: 3.0 + 9.0 * pid for pid in range(1, t // 2 + 1)}
-            processes = build_async_protocol_a(n, t)
-            tracker = WorkTracker(n)
-            engine = AsyncEngine(
-                processes, tracker=tracker, seed=seed, crash_times=crash_times
-            )
-            result = engine.run()
+            result = scenario.replace(seed=seed).run()
             worst_work = max(worst_work, result.metrics.work_total)
             worst_msgs = max(worst_msgs, result.metrics.messages_total)
             all_completed = all_completed and result.completed
@@ -783,8 +772,8 @@ def experiment_e17(quick: bool = False) -> ExperimentResult:
         for t in ts:
             n = 4 * t
             adversaries = [
-                lambda t=t: KillActive(t - 1, actions_before_kill=2),
-                lambda t=t: RandomCrashes(t // 2, max_action_index=20),
+                f"kill-active:{t - 1},actions_before_kill=2",
+                f"random:{t // 2},max_action_index=20",
             ]
             aggregate = worst_case(protocol, n, t, adversaries, seeds)
             measured.append(float(aggregate.messages))
@@ -901,12 +890,12 @@ def experiment_e15(quick: bool = False) -> ExperimentResult:
     rows = []
     for t in ts:
         n = 2 * t
-        def adversary(t=t):
-            return Cascade(
-                lead_units=t - 1,
-                redo_units=t // 2,
-                initial_dead=list(range(t // 2 + 1, t)),
-            )
+        adversary = {
+            "kind": "cascade",
+            "lead_units": t - 1,
+            "redo_units": t // 2,
+            "initial_dead": list(range(t // 2 + 1, t)),
+        }
 
         naive = worst_case("C-naive", n, t, [adversary], range(1))
         full_c = worst_case("C", n, t, [adversary], range(1))
@@ -976,8 +965,8 @@ def experiment_e14(quick: bool = False) -> ExperimentResult:
     t, n = (16, 256) if quick else (25, 500)
     seeds = range(2) if quick else range(3)
     adversaries = [
-        lambda: RandomCrashes(t // 2, max_action_index=20),
-        lambda: KillActive(t - 1, actions_before_kill=2),
+        f"random:{t // 2},max_action_index=20",
+        f"kill-active:{t - 1},actions_before_kill=2",
     ]
     profiles: Dict[str, tuple] = {}
     for protocol, options in [

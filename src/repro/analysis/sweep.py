@@ -1,17 +1,44 @@
 """Parameter-sweep utilities: run a protocol over adversary/seed grids and
 aggregate worst-case (the paper's bounds are worst-case statements, so
-benchmarks report the maximum over the schedules exercised)."""
+benchmarks report the maximum over the schedules exercised).
+
+Adversary grids are built from declarative specs (see
+:mod:`repro.sim.adversary`): :func:`worst_case` accepts specs directly
+alongside the legacy zero-argument factories, and :func:`battery` turns
+a list of specs into fresh-instance factories.  For the richer
+fan-out-and-reduce surface (seeds x adversaries x protocols, mean as
+well as worst-case, JSON export) use :class:`repro.api.Sweep`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.registry import run_protocol
+from repro.sim.adversary import AdversarySpec, adversary_from_spec
 from repro.sim.engine import Adversary
 from repro.sim.metrics import RunResult
 
 AdversaryFactory = Callable[[], Optional[Adversary]]
+#: What sweep grids accept per entry: a declarative spec (string / dict /
+#: None) or a zero-argument factory returning a fresh adversary.
+AdversaryLike = Union[AdversarySpec, AdversaryFactory]
+
+
+def battery(*specs: AdversarySpec) -> List[AdversaryFactory]:
+    """Turn declarative specs into fresh-instance adversary factories.
+
+    Each returned factory builds a *new* adversary per call, so one
+    battery can seed any number of runs.
+    """
+    return [lambda spec=spec: adversary_from_spec(spec) for spec in specs]
+
+
+def _materialize(entry: AdversaryLike) -> Optional[Adversary]:
+    if callable(entry) and not isinstance(entry, Adversary):
+        return entry()
+    return adversary_from_spec(entry)
 
 
 @dataclass
@@ -57,16 +84,21 @@ def worst_case(
     protocol: str,
     n: int,
     t: int,
-    adversaries: Sequence[AdversaryFactory],
+    adversaries: Sequence[AdversaryLike],
     seeds: Iterable[int],
     **options,
 ) -> WorstCase:
-    """Run every (adversary, seed) combination; aggregate the maxima."""
+    """Run every (adversary, seed) combination; aggregate the maxima.
+
+    ``adversaries`` entries may be declarative specs (``None`` /
+    ``"random:5"`` / ``{"kind": ...}``) or zero-argument factories.
+    """
     aggregate = WorstCase(protocol=protocol, n=n, t=t)
-    for factory in adversaries:
-        for seed in seeds:
+    seed_list = list(seeds)
+    for entry in adversaries:
+        for seed in seed_list:
             result = run_protocol(
-                protocol, n, t, adversary=factory(), seed=seed, **options
+                protocol, n, t, adversary=_materialize(entry), seed=seed, **options
             )
             aggregate.absorb(result)
     return aggregate

@@ -1,0 +1,540 @@
+"""The unified, declarative scenario API.
+
+One :class:`Scenario` object captures everything that defines a run -
+protocol, engine kind, workload shape, adversary spec, delay model,
+seed, limits, strictness - and is fully serializable, so the same
+scenario is addressable in memory, as JSON, and from the CLI::
+
+    from repro.api import Scenario
+
+    scenario = Scenario(
+        protocol="B", n=256, t=16,
+        adversary="random:8,max_action_index=25", seed=7,
+    )
+    result = scenario.run()                      # RunResult, config echoed
+    text = scenario.to_json()                    # share / store / version it
+    again = Scenario.from_json(text).run()       # byte-identical accounting
+
+Asynchronous runs are the same object with ``engine="async"`` (or just
+an async-registered protocol such as ``A-async``), plus the async-only
+knobs: a ``delay`` model spec, scheduled ``crash_times``, and the
+failure-detector window::
+
+    Scenario(protocol="A-async", n=200, t=25,
+             delay="uniform:0.5,6.0", crash_times={0: 5.0}, seed=2).run()
+
+:class:`Sweep` fans one scenario out over seeds x adversary specs (and
+optionally protocols) and aggregates the executions in a
+:class:`ResultSet` with the paper's worst-case reducer (its theorems are
+worst-case statements) plus a mean reducer, markdown tables and JSON
+export.
+
+``repro.run_protocol`` remains the stable synchronous shorthand; this
+module is a superset of it, not a replacement.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core import registry
+from repro.errors import ConfigurationError
+from repro.sim.adversary import (
+    Adversary,
+    AdversarySpec,
+    adversary_from_spec,
+    normalize_adversary_spec,
+)
+from repro.sim.async_engine import (
+    AsyncEngine,
+    DelaySpec,
+    delay_model_from_spec,
+    normalize_delay_spec,
+)
+from repro.sim.engine import Engine
+from repro.sim.failure_detector import FailureDetector
+from repro.sim.metrics import RunResult
+from repro.work.tracker import WorkTracker
+
+ENGINE_CHOICES = ("auto", "sync", "async")
+
+DEFAULT_MAX_STEPS = 5_000_000
+DEFAULT_MAX_EVENTS = 2_000_000
+
+_FD_FIELDS = ("min_delay", "max_delay")
+
+
+@dataclass
+class Scenario:
+    """Declarative description of one simulation run.
+
+    Attributes:
+        protocol: registered protocol name (case-insensitive; see
+            :func:`repro.core.registry.available_protocols`).
+        n: number of work units.
+        t: number of processes.
+        engine: ``"sync"``, ``"async"``, or ``"auto"`` (resolve from the
+            protocol's registry entry).
+        seed: RNG seed for the engine, adversary and delay draws.
+        adversary: adversary spec (string/dict, see
+            :mod:`repro.sim.adversary`) or a live instance (each run
+            deep-copies it, so repeated runs and sweep grid points see
+            its pristine state; blocks serialization).  Sync engine
+            only.
+        delay: message delay-model spec (async engine only).
+        crash_times: ``{pid: time}`` scheduled crashes (async only; the
+            sync engine's crashes come from the adversary).
+        failure_detector: ``{"min_delay": ..., "max_delay": ...}``
+            notification window of the async oracle detector.
+        strict_invariants: override the per-protocol default for the
+            sync engine's single-active assertion.
+        allow_total_failure: tolerate all-crashed executions (sync).
+        max_steps / max_rounds: sync engine budgets.
+        max_events: async engine budget.
+        options: extra keyword arguments for the protocol builder
+            (e.g. ``interval`` for ``naive``, ``revert_threshold`` for
+            ``D``, ``step_delay`` for ``A-async``).
+        name: optional label, carried through serialization and the
+            config echo (used by benchmarks and sweep tables).
+    """
+
+    protocol: str
+    n: int
+    t: int
+    engine: str = "auto"
+    seed: int = 0
+    adversary: AdversarySpec = None
+    delay: DelaySpec = None
+    crash_times: Optional[Dict[int, float]] = None
+    failure_detector: Optional[Dict[str, float]] = None
+    strict_invariants: Optional[bool] = None
+    allow_total_failure: bool = False
+    max_steps: int = DEFAULT_MAX_STEPS
+    max_rounds: Optional[int] = None
+    max_events: int = DEFAULT_MAX_EVENTS
+    options: Dict[str, Any] = field(default_factory=dict)
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINE_CHOICES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; choices: "
+                + ", ".join(ENGINE_CHOICES)
+            )
+        registry.get_entry(self.protocol)  # fail fast with the name listing
+        if self.n <= 0 or self.t <= 0:
+            raise ConfigurationError(
+                f"n and t must be positive, got n={self.n}, t={self.t}"
+            )
+        # Canonicalise declarative specs eagerly: bad specs fail at
+        # construction, and two scenarios spelling one spec differently
+        # ("random:2" vs {"kind": "random", "count": 2}) compare equal.
+        # Live adversary instances / delay callables pass through (they
+        # run fine but block serialization).
+        if not isinstance(self.adversary, Adversary):
+            self.adversary = normalize_adversary_spec(self.adversary)
+        if not callable(self.delay):
+            self.delay = normalize_delay_spec(self.delay)
+        if self.failure_detector is not None:
+            unknown = set(self.failure_detector) - set(_FD_FIELDS)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown failure_detector field(s) {sorted(unknown)}; "
+                    f"accepted: {', '.join(_FD_FIELDS)}"
+                )
+
+    # ---- engine resolution -------------------------------------------
+
+    @property
+    def resolved_engine(self) -> str:
+        """The concrete engine kind this scenario runs on."""
+        entry = registry.get_entry(self.protocol)
+        if self.engine == "auto":
+            return entry.engine
+        if self.engine != entry.engine:
+            raise ConfigurationError(
+                f"protocol {self.protocol!r} runs on the {entry.engine!r} "
+                f"engine, but the scenario requests {self.engine!r}"
+            )
+        return self.engine
+
+    def _check_engine_fields(self, engine_kind: str) -> None:
+        if engine_kind == "sync":
+            for label, value in (
+                ("delay", self.delay),
+                ("crash_times", self.crash_times),
+                ("failure_detector", self.failure_detector),
+            ):
+                if value is not None:
+                    raise ConfigurationError(
+                        f"{label!r} only applies to async scenarios, but "
+                        f"protocol {self.protocol!r} runs on the sync engine"
+                    )
+        else:
+            if self.adversary is not None:
+                raise ConfigurationError(
+                    "round-driven adversaries only apply to sync scenarios; "
+                    "async runs schedule failures via 'crash_times'"
+                )
+            if self.strict_invariants is not None or self.max_rounds is not None:
+                raise ConfigurationError(
+                    "'strict_invariants' and 'max_rounds' are sync-engine "
+                    "knobs; the async budget is 'max_events'"
+                )
+
+    # ---- execution ---------------------------------------------------
+
+    def run(self, *, trace=None, unit_effect=None) -> RunResult:
+        """Execute the scenario once and return its
+        :class:`~repro.sim.metrics.RunResult` with the scenario's
+        serialized form echoed in ``result.config``.
+
+        ``trace`` and ``unit_effect`` are runtime-only observers of the
+        sync engine; they are deliberately not part of the serialized
+        scenario.
+        """
+        engine_kind = self.resolved_engine
+        self._check_engine_fields(engine_kind)
+        entry = registry.get_entry(self.protocol)
+        processes = entry.builder(self.n, self.t, **self.options)
+        tracker = WorkTracker(self.n)
+        if engine_kind == "sync":
+            strict = self.strict_invariants
+            if strict is None:
+                strict = entry.single_active
+            adversary = self.adversary
+            if isinstance(adversary, Adversary):
+                # Adversaries are stateful (budgets, countdowns); hand the
+                # engine a copy so repeated runs of one scenario - and every
+                # grid point of a Sweep - start from the pristine state.
+                adversary = copy.deepcopy(adversary)
+            else:
+                adversary = adversary_from_spec(adversary)
+            engine = Engine(
+                list(processes),
+                tracker=tracker,
+                adversary=adversary,
+                seed=self.seed,
+                strict_invariants=strict,
+                allow_total_failure=self.allow_total_failure,
+                max_steps=self.max_steps,
+                max_rounds=self.max_rounds,
+                trace=trace,
+                unit_effect=unit_effect,
+            )
+        else:
+            if trace is not None or unit_effect is not None:
+                raise ConfigurationError(
+                    "trace/unit_effect are sync-engine observers; the async "
+                    "engine does not support them"
+                )
+            detector = None
+            if self.failure_detector is not None:
+                detector = FailureDetector(**self.failure_detector)
+            engine = AsyncEngine(
+                list(processes),
+                tracker=tracker,
+                seed=self.seed,
+                delay_model=delay_model_from_spec(self.delay),
+                failure_detector=detector,
+                crash_times=self.crash_times,
+                max_events=self.max_events,
+            )
+        result = engine.run()
+        try:
+            config = self.to_dict()
+        except ConfigurationError:
+            config = None  # live adversary/delay objects: run, don't echo
+        return dataclasses.replace(result, config=config)
+
+    # ---- serialization -----------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-compatible form; defaults are omitted so the
+        dict reads like the scenario was written by hand."""
+        data: Dict[str, Any] = {
+            "protocol": self.protocol,
+            "n": self.n,
+            "t": self.t,
+            "engine": self.engine,
+            "seed": self.seed,
+        }
+        if self.name is not None:
+            data["name"] = self.name
+        adversary = normalize_adversary_spec(self.adversary)
+        if adversary is not None:
+            data["adversary"] = adversary
+        delay = normalize_delay_spec(self.delay)
+        if delay is not None:
+            data["delay"] = delay
+        if self.crash_times:
+            data["crash_times"] = {
+                int(pid): float(when) for pid, when in sorted(self.crash_times.items())
+            }
+        if self.failure_detector is not None:
+            data["failure_detector"] = {
+                key: float(value) for key, value in self.failure_detector.items()
+            }
+        if self.strict_invariants is not None:
+            data["strict_invariants"] = self.strict_invariants
+        if self.allow_total_failure:
+            data["allow_total_failure"] = True
+        if self.max_steps != DEFAULT_MAX_STEPS:
+            data["max_steps"] = self.max_steps
+        if self.max_rounds is not None:
+            data["max_rounds"] = self.max_rounds
+        if self.max_events != DEFAULT_MAX_EVENTS:
+            data["max_events"] = self.max_events
+        if self.options:
+            data["options"] = dict(self.options)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Scenario":
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"a scenario must be a dict, got {type(data).__name__}"
+            )
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - field_names
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario field(s) {sorted(unknown)}; accepted: "
+                + ", ".join(sorted(field_names))
+            )
+        missing = {"protocol", "n", "t"} - set(data)
+        if missing:
+            raise ConfigurationError(
+                f"a scenario requires field(s) {sorted(missing)}"
+            )
+        kwargs = dict(data)
+        if kwargs.get("crash_times") is not None:
+            crash_times = kwargs["crash_times"]
+            if not isinstance(crash_times, dict):
+                raise ConfigurationError(
+                    "'crash_times' must be a {pid: time} mapping"
+                )
+            kwargs["crash_times"] = {
+                int(pid): float(when) for pid, when in crash_times.items()
+            }
+        return cls(**kwargs)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"scenario JSON does not parse: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def from_file(cls, path) -> "Scenario":
+        return cls.from_json(Path(path).read_text())
+
+    # ---- derived scenarios -------------------------------------------
+
+    def replace(self, **changes) -> "Scenario":
+        """A copy with ``changes`` applied (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+
+# =====================================================================
+# Sweeps and aggregation
+# =====================================================================
+
+
+def _metrics_row(result: RunResult) -> Dict[str, float]:
+    metrics = result.metrics
+    return {
+        "work": metrics.work_total,
+        "messages": metrics.messages_total,
+        "effort": metrics.effort,
+        "rounds": metrics.retire_round,
+        "redundant_work": metrics.redundant_work(),
+        "crashes": metrics.crashes,
+    }
+
+
+class ResultSet:
+    """An ordered collection of ``(scenario, result)`` pairs with the
+    paper's aggregation conventions baked in.
+
+    The theorems are worst-case statements over all crash patterns, so
+    :meth:`worst` (per-measure maxima) is the headline reducer;
+    :meth:`mean` is there for the expected-cost view.
+    """
+
+    def __init__(self, entries: Sequence[Tuple[Scenario, RunResult]]):
+        self.entries: List[Tuple[Scenario, RunResult]] = list(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[Tuple[Scenario, RunResult]]:
+        return iter(self.entries)
+
+    @property
+    def results(self) -> List[RunResult]:
+        return [result for _, result in self.entries]
+
+    @property
+    def all_completed(self) -> bool:
+        return all(result.completed for result in self.results)
+
+    # ---- reducers ----------------------------------------------------
+
+    def _reduced(self, reducer) -> Dict[str, float]:
+        if not self.entries:
+            raise ConfigurationError("cannot reduce an empty ResultSet")
+        rows = [_metrics_row(result) for result in self.results]
+        return {key: reducer([row[key] for row in rows]) for key in rows[0]}
+
+    def worst(self) -> Dict[str, float]:
+        """Per-measure maxima over every execution (the paper's view)."""
+        return self._reduced(max)
+
+    def mean(self) -> Dict[str, float]:
+        return self._reduced(lambda values: sum(values) / len(values))
+
+    def by_protocol(self) -> Dict[str, "ResultSet"]:
+        grouped: Dict[str, ResultSet] = {}
+        for scenario, result in self.entries:
+            grouped.setdefault(
+                scenario.protocol.lower(), ResultSet([])
+            ).entries.append((scenario, result))
+        return grouped
+
+    # ---- export ------------------------------------------------------
+
+    def table(self, *, reduce: str = "worst", title: Optional[str] = None) -> str:
+        """Markdown table, one row per protocol, reduced per-measure."""
+        from repro.analysis.tables import render_table
+
+        if reduce not in ("worst", "mean"):
+            raise ConfigurationError(
+                f"unknown reducer {reduce!r}; choices: worst, mean"
+            )
+        rows = []
+        for protocol, subset in sorted(self.by_protocol().items()):
+            reduced = subset.worst() if reduce == "worst" else subset.mean()
+            rows.append(
+                [
+                    protocol,
+                    len(subset),
+                    reduced["work"],
+                    reduced["messages"],
+                    reduced["effort"],
+                    float(reduced["rounds"]),
+                    "yes" if subset.all_completed else "NO",
+                ]
+            )
+        return render_table(
+            ["protocol", "runs", "work", "messages", "effort", "rounds", "completed"],
+            rows,
+            title=title,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "runs": [result.to_dict() for result in self.results],
+            "worst": self.worst(),
+            "mean": self.mean(),
+            "all_completed": self.all_completed,
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True) + "\n"
+
+
+@dataclass
+class Sweep:
+    """Fan a base scenario out over seeds x adversary specs (x protocols).
+
+    ``None`` sequences mean "keep the base scenario's value"; passing
+    explicit sequences replaces it per grid point.  ``run()`` executes
+    the full grid and returns a :class:`ResultSet`.
+    """
+
+    base: Scenario
+    seeds: Optional[Sequence[int]] = None
+    adversaries: Optional[Sequence[AdversarySpec]] = None
+    protocols: Optional[Sequence[str]] = None
+
+    def scenarios(self) -> Iterator[Scenario]:
+        protocols = self.protocols if self.protocols is not None else [self.base.protocol]
+        adversaries = (
+            self.adversaries if self.adversaries is not None else [self.base.adversary]
+        )
+        seeds = self.seeds if self.seeds is not None else [self.base.seed]
+        for protocol in protocols:
+            for adversary in adversaries:
+                for seed in seeds:
+                    yield self.base.replace(
+                        protocol=protocol, adversary=adversary, seed=seed
+                    )
+
+    def run(self) -> ResultSet:
+        return ResultSet([(scenario, scenario.run()) for scenario in self.scenarios()])
+
+    # ---- serialization -----------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"base": self.base.to_dict()}
+        if self.seeds is not None:
+            data["seeds"] = list(self.seeds)
+        if self.adversaries is not None:
+            data["adversaries"] = [
+                normalize_adversary_spec(spec) for spec in self.adversaries
+            ]
+        if self.protocols is not None:
+            data["protocols"] = list(self.protocols)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Sweep":
+        if not isinstance(data, dict) or "base" not in data:
+            raise ConfigurationError("a sweep needs a 'base' scenario dict")
+        unknown = set(data) - {"base", "seeds", "adversaries", "protocols"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown sweep field(s) {sorted(unknown)}; accepted: "
+                "base, seeds, adversaries, protocols"
+            )
+        return cls(
+            base=Scenario.from_dict(data["base"]),
+            seeds=data.get("seeds"),
+            adversaries=data.get("adversaries"),
+            protocols=data.get("protocols"),
+        )
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Sweep":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"sweep JSON does not parse: {exc}") from exc
+        return cls.from_dict(data)
+
+
+__all__ = [
+    "ENGINE_CHOICES",
+    "ResultSet",
+    "Scenario",
+    "Sweep",
+]

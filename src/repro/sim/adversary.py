@@ -5,17 +5,36 @@ its proofs motivate several concrete "hard" schedules.  This module
 implements those plus general-purpose scripted and randomised
 adversaries.  All adversaries are deterministic functions of their
 configuration and the engine's seed.
+
+Declarative specs
+-----------------
+
+Every adversary is also constructible from a *spec* - a string or a
+JSON-compatible dict - via :func:`adversary_from_spec`, which is what
+the :class:`repro.api.Scenario` layer, the CLI's ``--adversary`` flag
+and the sweep batteries use.  The string grammar is::
+
+    KIND                      e.g.  "kill-active"
+    KIND:ARG,ARG,...          e.g.  "random:5,max_action_index=25"
+
+where each ``ARG`` is positional or ``name=value``; values may be ints,
+floats, ``true``/``false``, ``a..b`` inclusive int ranges, ``a+b+c``
+lists, and ``PIDxUNITS`` pairs (for ``staggered``).  The dict form is
+``{"kind": ..., <param>: ...}`` and covers everything the constructors
+do (``fixed-schedule`` directives, ``compose`` parts).  See
+``docs/api.md`` for the full grammar table.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
 from repro.sim.actions import Action
 from repro.sim.crashes import CrashDirective, CrashPhase
 from repro.sim.engine import Adversary, Engine
+from repro.sim.specs import bind_positionals, split_spec_string
 
 
 class NoFailures(Adversary):
@@ -340,3 +359,337 @@ def compose(*adversaries: Adversary) -> Adversary:
             return directives
 
     return _Composite()
+
+
+# =====================================================================
+# Declarative adversary specs
+# =====================================================================
+
+#: What the spec-accepting entry points take: ``None`` (no failures), a
+#: grammar string, a JSON-compatible dict, or an already-built instance.
+AdversarySpec = Union[None, str, Dict[str, object], Adversary]
+
+_NONE_KINDS = {"none", "no-failures", "nofailures"}
+
+
+def _coerce_phase(value) -> CrashPhase:
+    if isinstance(value, CrashPhase):
+        return value
+    name = str(value).strip().lower().replace("-", "_")
+    for phase in CrashPhase:
+        if phase.value == name or phase.name.lower() == name:
+            return phase
+    raise ConfigurationError(
+        f"unknown crash phase {value!r}; known phases: "
+        + ", ".join(p.value for p in CrashPhase)
+    )
+
+
+def _coerce_value(text: str):
+    """Parse one string-grammar value: scalar, ``a..b`` range, ``a+b``
+    list, or ``AxB`` pair."""
+    text = text.strip()
+    if ".." in text:
+        lo, _, hi = text.partition("..")
+        try:
+            return list(range(int(lo), int(hi) + 1))
+        except ValueError:
+            raise ConfigurationError(f"bad range value {text!r}; expected INT..INT")
+    if "+" in text:
+        return [_coerce_value(part) for part in text.split("+")]
+    if "x" in text:
+        head, _, tail = text.partition("x")
+        if head.strip().isdigit() and tail.strip().isdigit():
+            return [int(head), int(tail)]
+    lowered = text.lower()
+    if lowered in ("true", "yes"):
+        return True
+    if lowered in ("false", "no"):
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _pid_list(value, *, what: str) -> List[int]:
+    if isinstance(value, int):
+        return [value]
+    if isinstance(value, (list, tuple)):
+        return [int(v) for v in value]
+    raise ConfigurationError(f"{what} must be an int or a list of ints, got {value!r}")
+
+
+def _build_random(params) -> Adversary:
+    kwargs = {}
+    if "max_action_index" in params:
+        kwargs["max_action_index"] = int(params["max_action_index"])
+    if params.get("victims") is not None:
+        kwargs["victims"] = _pid_list(params["victims"], what="'victims'")
+    if params.get("phases") is not None:
+        phases = params["phases"]
+        if not isinstance(phases, (list, tuple)):
+            phases = [phases]
+        kwargs["phases"] = tuple(_coerce_phase(p) for p in phases)
+    return RandomCrashes(int(params["count"]), **kwargs)
+
+
+def _build_kill_active(params) -> Adversary:
+    kwargs = {}
+    if "actions_before_kill" in params:
+        kwargs["actions_before_kill"] = int(params["actions_before_kill"])
+    if "phase" in params:
+        kwargs["phase"] = _coerce_phase(params["phase"])
+    return KillActive(int(params["budget"]), **kwargs)
+
+
+def _build_kill_before_checkpoint(params) -> Adversary:
+    return KillBeforeCheckpoint(int(params["budget"]))
+
+
+def _build_cascade(params) -> Adversary:
+    kwargs = {}
+    if "redo_units" in params:
+        kwargs["redo_units"] = int(params["redo_units"])
+    if params.get("initial_dead") is not None:
+        kwargs["initial_dead"] = _pid_list(params["initial_dead"], what="'initial_dead'")
+    if params.get("budget") is not None:
+        kwargs["budget"] = int(params["budget"])
+    return Cascade(lead_units=int(params["lead_units"]), **kwargs)
+
+
+def _build_staggered(params) -> Adversary:
+    kills = params["kills"]
+    if (
+        isinstance(kills, (list, tuple))
+        and len(kills) == 2
+        and all(isinstance(v, int) for v in kills)
+    ):
+        kills = [kills]  # a single PIDxUNITS pair parses as one flat [pid, units]
+    pairs = []
+    for pair in kills:
+        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+            raise ConfigurationError(
+                "'kills' for the 'staggered' adversary must be [pid, units] "
+                f"pairs (string form: 0x2+3x1), got {pair!r}"
+            )
+        pairs.append((int(pair[0]), int(pair[1])))
+    return StaggeredWorkKills.plan(pairs)
+
+
+def _build_crash_mid_broadcast(params) -> Adversary:
+    kwargs = {}
+    if "min_batch" in params:
+        kwargs["min_batch"] = int(params["min_batch"])
+    return CrashMidBroadcast(_pid_list(params["victims"], what="'victims'"), **kwargs)
+
+
+def _build_fixed_schedule(params) -> Adversary:
+    directives = []
+    raw = params["directives"]
+    if not isinstance(raw, (list, tuple)):
+        raise ConfigurationError(
+            "'directives' for the 'fixed-schedule' adversary must be a list "
+            "of {pid, at_round, phase?, keep?} dicts"
+        )
+    for item in raw:
+        if not isinstance(item, dict):
+            raise ConfigurationError(
+                f"each fixed-schedule directive must be a dict, got {item!r}"
+            )
+        unknown = set(item) - {"pid", "at_round", "phase", "keep"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown directive field(s) {sorted(unknown)}; "
+                "accepted: pid, at_round, phase, keep"
+            )
+        kwargs = {"pid": int(item["pid"]), "at_round": int(item.get("at_round", 0))}
+        if "phase" in item:
+            kwargs["phase"] = _coerce_phase(item["phase"])
+        if item.get("keep") is not None:
+            kwargs["keep"] = frozenset(_pid_list(item["keep"], what="'keep'"))
+        directives.append(CrashDirective(**kwargs))
+    return FixedSchedule(directives)
+
+
+def _build_compose(params) -> Adversary:
+    parts = params["parts"]
+    if not isinstance(parts, (list, tuple)) or not parts:
+        raise ConfigurationError(
+            "'parts' for the 'compose' adversary must be a non-empty list of specs"
+        )
+    built = [adversary_from_spec(part) for part in parts]
+    live = [adv for adv in built if adv is not None]
+    if not live:
+        return NoFailures()
+    return compose(*live)
+
+
+@dataclass(frozen=True)
+class _SpecKind:
+    """One entry of the spec grammar: the params it accepts, which of
+    them map from positional string-grammar args, and its factory."""
+
+    name: str
+    positional: Sequence[str]
+    required: Sequence[str]
+    optional: Sequence[str]
+    factory: Callable[[Dict[str, object]], Adversary]
+
+    @property
+    def accepted(self) -> List[str]:
+        return list(self.required) + list(self.optional)
+
+
+_SPEC_KINDS: Dict[str, _SpecKind] = {}
+
+
+def _register_kind(name, positional, required, optional, factory) -> None:
+    _SPEC_KINDS[name] = _SpecKind(name, positional, required, optional, factory)
+
+
+_register_kind(
+    "random", ("count",), ("count",),
+    ("max_action_index", "victims", "phases"), _build_random,
+)
+_register_kind(
+    "kill-active", ("budget",), ("budget",),
+    ("actions_before_kill", "phase"), _build_kill_active,
+)
+_register_kind(
+    "kill-before-checkpoint", ("budget",), ("budget",), (),
+    _build_kill_before_checkpoint,
+)
+_register_kind(
+    "cascade", ("lead_units",), ("lead_units",),
+    ("redo_units", "initial_dead", "budget"), _build_cascade,
+)
+_register_kind(
+    "staggered", ("kills",), ("kills",), (), _build_staggered,
+)
+_register_kind(
+    "crash-mid-broadcast", ("victims",), ("victims",),
+    ("min_batch",), _build_crash_mid_broadcast,
+)
+_register_kind(
+    "fixed-schedule", (), ("directives",), (), _build_fixed_schedule,
+)
+_register_kind(
+    "compose", (), ("parts",), (), _build_compose,
+)
+
+
+def available_adversary_kinds() -> List[str]:
+    """Spec kinds accepted by :func:`adversary_from_spec` (plus ``none``)."""
+    return sorted(_SPEC_KINDS) + ["none"]
+
+
+def _canonical_kind(kind: str) -> str:
+    key = kind.strip().lower().replace("_", "-")
+    if key in _NONE_KINDS:
+        return "none"
+    if key not in _SPEC_KINDS:
+        raise ConfigurationError(
+            f"unknown adversary kind {kind!r}; known kinds: "
+            + ", ".join(available_adversary_kinds())
+        )
+    return key
+
+
+def _parse_spec_string(text: str) -> Dict[str, object]:
+    kind_raw, positional, named = split_spec_string(text)
+    kind = _canonical_kind(kind_raw)
+    params: Dict[str, object] = {"kind": kind}
+    if kind == "none":
+        if positional or named:
+            raise ConfigurationError("the 'none' adversary takes no arguments")
+        return params
+    spec_kind = _SPEC_KINDS[kind]
+    bound = bind_positionals(
+        kind, tuple(spec_kind.positional), positional, what="adversary kind"
+    )
+    for name, value in {**bound, **named}.items():
+        params[name] = _coerce_value(value)
+    return params
+
+
+def normalize_adversary_spec(spec: AdversarySpec) -> Optional[Dict[str, object]]:
+    """Canonicalise ``spec`` to ``None`` or a validated, JSON-compatible
+    ``{"kind": ..., <param>: ...}`` dict.
+
+    Raises :class:`ConfigurationError` for unknown kinds or parameters,
+    and for live :class:`Adversary` instances (which cannot round-trip
+    through JSON - pass a spec instead).
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, Adversary):
+        raise ConfigurationError(
+            f"a live {type(spec).__name__} instance is not serializable; "
+            "pass a string or dict adversary spec instead "
+            f"(known kinds: {', '.join(available_adversary_kinds())})"
+        )
+    if isinstance(spec, str):
+        params = _parse_spec_string(spec)
+    elif isinstance(spec, dict):
+        if "kind" not in spec:
+            raise ConfigurationError(
+                "adversary spec dicts need a 'kind' key; known kinds: "
+                + ", ".join(available_adversary_kinds())
+            )
+        params = {
+            (k if k == "kind" else str(k).replace("-", "_")): v
+            for k, v in spec.items()
+        }
+        params["kind"] = _canonical_kind(str(spec["kind"]))
+    else:
+        raise ConfigurationError(
+            f"adversary spec must be None, a string, or a dict, got {type(spec).__name__}"
+        )
+    kind = params["kind"]
+    if kind == "none":
+        extra = set(params) - {"kind"}
+        if extra:
+            raise ConfigurationError("the 'none' adversary takes no parameters")
+        return None
+    spec_kind = _SPEC_KINDS[kind]
+    unknown = set(params) - {"kind"} - set(spec_kind.accepted)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown parameter(s) {sorted(unknown)} for adversary kind "
+            f"{kind!r}; accepted: {', '.join(spec_kind.accepted)}"
+        )
+    missing = set(spec_kind.required) - set(params)
+    if missing:
+        raise ConfigurationError(
+            f"adversary kind {kind!r} requires parameter(s) "
+            f"{sorted(missing)}; accepted: {', '.join(spec_kind.accepted)}"
+        )
+    if kind == "compose":
+        if not isinstance(params["parts"], (list, tuple)) or not params["parts"]:
+            raise ConfigurationError(
+                "'parts' for the 'compose' adversary must be a non-empty list of specs"
+            )
+        params["parts"] = [normalize_adversary_spec(part) for part in params["parts"]]
+    return params
+
+
+def adversary_from_spec(spec: AdversarySpec) -> Optional[Adversary]:
+    """Build a fresh adversary from a declarative spec.
+
+    ``None`` and the ``"none"`` kind yield ``None`` (failure-free run);
+    a live :class:`Adversary` instance passes through unchanged (but see
+    :func:`normalize_adversary_spec` about serializability).  Every call
+    returns a *new* instance, so one spec can seed many runs.
+    """
+    if isinstance(spec, Adversary):
+        return spec
+    params = normalize_adversary_spec(spec)
+    if params is None:
+        return None
+    return _SPEC_KINDS[params["kind"]].factory(params)

@@ -35,11 +35,12 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import BudgetExceeded, SimulationStalled
+from repro.errors import BudgetExceeded, ConfigurationError, SimulationStalled
 from repro.sim.actions import MessageKind
 from repro.sim.failure_detector import FailureDetector
 from repro.sim.metrics import Metrics, RunResult
 from repro.sim.rng import derive_rng, make_rng
+from repro.sim.specs import bind_positionals, split_spec_string, to_number
 from repro.work.tracker import WorkTracker
 
 DelayModel = Callable[[random.Random, int, int], float]
@@ -65,6 +66,92 @@ def fixed_delays(delay: float = 1.0) -> DelayModel:
         return delay
 
     return model
+
+
+# ---- declarative delay-model specs ----------------------------------------
+#
+# Mirrors the adversary spec grammar of ``repro.sim.adversary``: strings
+# like ``"uniform:0.5,4.0"`` / ``"fixed:1.0"`` or dicts like
+# ``{"kind": "uniform", "low": 0.5, "high": 4.0}``.  This is what
+# :class:`repro.api.Scenario` serialises.
+
+#: str spec, dict spec, a ready-made model callable, or None (default).
+DelaySpec = Any
+
+_DELAY_KINDS: Dict[str, Tuple[Tuple[str, ...], Callable[..., DelayModel]]] = {
+    "uniform": (("low", "high"), uniform_delays),
+    "fixed": (("delay",), fixed_delays),
+}
+
+
+def _delay_params(spec) -> Dict[str, Any]:
+    if isinstance(spec, str):
+        kind, positional, named = split_spec_string(spec)
+        params: Dict[str, Any] = {"kind": kind}
+        raw: Dict[str, Any] = dict(named)
+        if kind in _DELAY_KINDS:
+            raw.update(
+                bind_positionals(
+                    kind, _DELAY_KINDS[kind][0], positional, what="delay model"
+                )
+            )
+    elif isinstance(spec, dict):
+        if "kind" not in spec:
+            raise ConfigurationError(
+                "delay model spec dicts need a 'kind' key; known kinds: "
+                + ", ".join(sorted(_DELAY_KINDS))
+            )
+        params = {"kind": str(spec["kind"]).strip().lower()}
+        raw = {k: v for k, v in spec.items() if k != "kind"}
+    else:
+        raise ConfigurationError(
+            f"delay model spec must be None, a string, a dict, or a callable, "
+            f"got {type(spec).__name__}"
+        )
+    kind = params["kind"]
+    if kind not in _DELAY_KINDS:
+        raise ConfigurationError(
+            f"unknown delay model {kind!r}; known kinds: "
+            + ", ".join(sorted(_DELAY_KINDS))
+        )
+    accepted = _DELAY_KINDS[kind][0]
+    unknown = set(raw) - set(accepted)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown parameter(s) {sorted(unknown)} for delay model "
+            f"{kind!r}; accepted: {', '.join(accepted)}"
+        )
+    for name, value in raw.items():
+        params[name] = to_number(
+            value, what=f"delay model {kind!r} parameter {name!r}"
+        )
+    return params
+
+
+def normalize_delay_spec(spec: DelaySpec) -> Optional[Dict[str, Any]]:
+    """Canonicalise a delay spec to ``None`` or a JSON-compatible dict."""
+    if spec is None:
+        return None
+    if callable(spec):
+        raise ConfigurationError(
+            "a delay-model callable is not serializable; pass a string or "
+            "dict spec instead (known kinds: "
+            + ", ".join(sorted(_DELAY_KINDS))
+            + ")"
+        )
+    return _delay_params(spec)
+
+
+def delay_model_from_spec(spec: DelaySpec) -> DelayModel:
+    """Build a delay model from a spec; ``None`` yields the default
+    :func:`uniform_delays`, a callable passes through unchanged."""
+    if spec is None:
+        return uniform_delays()
+    if callable(spec):
+        return spec
+    params = _delay_params(spec)
+    names, factory = _DELAY_KINDS[params["kind"]]
+    return factory(**{name: params[name] for name in names if name in params})
 
 
 @dataclass(order=True, slots=True)

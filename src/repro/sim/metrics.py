@@ -145,6 +145,9 @@ class RunResult:
         stalled: the run ended because nothing could make progress (only
             possible when every process crashed - otherwise the engine
             raises ``SimulationStalled``).
+        config: echo of the declarative scenario that produced this run
+            (set by :meth:`repro.api.Scenario.run`; ``None`` for direct
+            engine invocations).
     """
 
     completed: bool
@@ -153,6 +156,7 @@ class RunResult:
     metrics: Metrics
     stalled: bool = False
     note: Optional[str] = None
+    config: Optional[Dict[str, object]] = None
 
     @property
     def effort(self) -> int:
@@ -164,3 +168,22 @@ class RunResult:
             completed=self.completed, survivors=self.survivors, halted=self.halted
         )
         return data
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible report: completion, accounting, config echo.
+
+        This is what ``python -m repro run --json`` prints and what the
+        benchmark/CI tooling consumes instead of scraping tables.
+        """
+        payload: Dict[str, object] = {
+            "completed": self.completed,
+            "survivors": self.survivors,
+            "halted": self.halted,
+            "stalled": self.stalled,
+            "metrics": self.metrics.as_dict(),
+        }
+        if self.note is not None:
+            payload["note"] = self.note
+        if self.config is not None:
+            payload["config"] = self.config
+        return payload

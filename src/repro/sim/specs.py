@@ -1,0 +1,64 @@
+"""Shared tokenizer for the declarative spec string grammar.
+
+Both adversary specs (:mod:`repro.sim.adversary`) and delay-model specs
+(:mod:`repro.sim.async_engine`) use the same surface syntax::
+
+    KIND                      e.g.  "kill-active"
+    KIND:ARG,ARG,...          e.g.  "random:5,max_action_index=25"
+
+This module owns the ``KIND:ARG`` splitting so the two parsers cannot
+drift; value *coercion* stays domain-specific (adversaries take ranges
+and pid lists, delay models take numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def split_spec_string(text: str) -> Tuple[str, List[str], Dict[str, str]]:
+    """Split ``"kind:a,b=c"`` into ``("kind", ["a"], {"b": "c"})``.
+
+    Values are returned as raw strings; callers coerce them.  Named
+    argument names are normalised to underscores.
+    """
+    head, sep, rest = text.partition(":")
+    kind = head.strip().lower()
+    positional: List[str] = []
+    named: Dict[str, str] = {}
+    if sep:
+        for part in rest.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" in part:
+                name, _, value = part.partition("=")
+                named[name.strip().replace("-", "_")] = value.strip()
+            else:
+                positional.append(part)
+    return kind, positional, named
+
+
+def bind_positionals(
+    kind: str, names: Tuple[str, ...], positional: List[str], *, what: str
+) -> Dict[str, str]:
+    """Map positional raw values onto their parameter names, raising the
+    standard too-many-positionals error."""
+    if len(positional) > len(names):
+        raise ConfigurationError(
+            f"{what} {kind!r} takes at most {len(names)} positional "
+            f"argument(s) ({', '.join(names) or 'none'}); got extra "
+            f"{positional[len(names)]!r}"
+        )
+    return dict(zip(names, positional))
+
+
+def to_number(value, *, what: str) -> float:
+    """Coerce a spec value to float, raising ConfigurationError (never a
+    bare ValueError) on junk."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{what} must be a number, got {value!r}")

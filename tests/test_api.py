@@ -1,0 +1,290 @@
+"""The unified Scenario API: serialization round-trips, spec parsing,
+engine-aware registry, sweeps and the JSON result surface."""
+
+import json
+
+import pytest
+
+import repro
+from repro.api import ResultSet, Scenario, Sweep
+from repro.core.registry import available_protocols, get_entry, run_protocol
+from repro.errors import ConfigurationError
+from repro.sim.adversary import (
+    Adversary,
+    KillActive,
+    adversary_from_spec,
+    normalize_adversary_spec,
+)
+from repro.sim.async_engine import delay_model_from_spec, normalize_delay_spec
+
+# ---- acceptance: JSON round-trip reproduces the run exactly -----------------
+
+
+def _small_sync_scenario(protocol: str) -> Scenario:
+    options = {"interval": 4} if protocol == "naive" else {}
+    n, t = (24, 6) if protocol.startswith("c") else (32, 8)
+    return Scenario(
+        protocol=protocol,
+        n=n,
+        t=t,
+        adversary="random:2,max_action_index=8",
+        seed=3,
+        options=options,
+    )
+
+
+@pytest.mark.parametrize("protocol", available_protocols("sync"))
+def test_sync_json_round_trip_reproduces_metrics(protocol):
+    scenario = _small_sync_scenario(protocol)
+    direct = scenario.run()
+    revived = Scenario.from_json(scenario.to_json()).run()
+    assert direct.metrics.as_dict() == revived.metrics.as_dict()
+    assert direct.completed == revived.completed
+
+
+@pytest.mark.parametrize("protocol", available_protocols("async"))
+def test_async_json_round_trip_reproduces_metrics(protocol):
+    scenario = Scenario(
+        protocol=protocol,
+        n=48,
+        t=6,
+        crash_times={1: 5.0, 2: 9.5},
+        delay="uniform:0.5,3.0",
+        failure_detector={"min_delay": 1.0, "max_delay": 4.0},
+        seed=2,
+    )
+    direct = scenario.run()
+    # Through actual JSON text: keys stringify and must come back as ints.
+    revived = Scenario.from_dict(json.loads(scenario.to_json())).run()
+    assert direct.metrics.as_dict() == revived.metrics.as_dict()
+    assert direct.completed
+
+
+def test_from_dict_equals_constructor():
+    scenario = _small_sync_scenario("b")
+    assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+
+def test_scenario_file_round_trip(tmp_path):
+    scenario = _small_sync_scenario("a")
+    path = scenario.save(tmp_path / "scenario.json")
+    assert Scenario.from_file(path) == scenario
+
+
+def test_run_protocol_matches_scenario_run():
+    # The thin wrapper and the declarative path account identically.
+    wrapped = run_protocol(
+        "B", 64, 8, adversary=KillActive(3, actions_before_kill=2), seed=5
+    )
+    declarative = Scenario(
+        protocol="B",
+        n=64,
+        t=8,
+        adversary="kill-active:3,actions_before_kill=2",
+        seed=5,
+    ).run()
+    assert wrapped.metrics.as_dict() == declarative.metrics.as_dict()
+
+
+# ---- RunResult.to_dict and the config echo ----------------------------------
+
+
+def test_run_result_to_dict_shape():
+    result = _small_sync_scenario("a").run()
+    payload = result.to_dict()
+    for key in ("completed", "survivors", "halted", "stalled", "metrics", "config"):
+        assert key in payload
+    assert payload["metrics"]["work"] == result.metrics.work_total
+    assert payload["config"]["protocol"] == "a"
+    assert payload["config"]["adversary"]["kind"] == "random"
+    json.dumps(payload)  # JSON-safe end to end
+
+
+def test_direct_run_protocol_has_no_config_echo():
+    result = run_protocol("A", 16, 4, seed=0)
+    assert result.config is None
+    assert "config" not in result.to_dict()
+
+
+def test_live_adversary_runs_but_does_not_serialize():
+    scenario = Scenario(
+        protocol="A", n=16, t=4, adversary=KillActive(2), seed=1
+    )
+    result = scenario.run()
+    assert result.completed
+    assert result.config is None  # cannot echo a live object
+    with pytest.raises(ConfigurationError, match="not serializable"):
+        scenario.to_dict()
+
+
+def test_live_adversary_state_is_fresh_per_run():
+    # Adversaries are stateful (budgets, countdowns); a scenario holding a
+    # live instance must not hand later runs a spent one.
+    scenario = Scenario(
+        protocol="A", n=64, t=8, adversary=KillActive(5, actions_before_kill=2)
+    )
+    first = scenario.run()
+    second = scenario.run()
+    assert first.metrics.crashes == 5
+    assert first.metrics.as_dict() == second.metrics.as_dict()
+    sweep_crashes = [
+        result.metrics.crashes
+        for result in Sweep(base=scenario, seeds=range(3)).run().results
+    ]
+    assert sweep_crashes == [5, 5, 5]
+
+
+# ---- spec parser errors ------------------------------------------------------
+
+
+def test_unknown_adversary_kind_lists_known_kinds():
+    with pytest.raises(ConfigurationError) as excinfo:
+        adversary_from_spec("meteor-strike:3")
+    message = str(excinfo.value)
+    assert "meteor-strike" in message
+    assert "kill-active" in message and "random" in message
+
+
+def test_unknown_adversary_param_lists_accepted():
+    with pytest.raises(ConfigurationError) as excinfo:
+        adversary_from_spec("random:3,bogus=1")
+    message = str(excinfo.value)
+    assert "bogus" in message and "max_action_index" in message
+
+
+def test_missing_required_param_is_named():
+    with pytest.raises(ConfigurationError, match="count"):
+        adversary_from_spec({"kind": "random"})
+
+
+def test_bad_crash_phase_is_named():
+    with pytest.raises(ConfigurationError, match="phase"):
+        adversary_from_spec({"kind": "kill-active", "budget": 1, "phase": "sideways"})
+
+
+def test_spec_builds_fresh_instances():
+    spec = "kill-active:2"
+    first, second = adversary_from_spec(spec), adversary_from_spec(spec)
+    assert first is not second
+    assert isinstance(first, Adversary)
+
+
+def test_normalize_canonicalises_string_and_dict_forms():
+    from_string = normalize_adversary_spec("random:5,max_action_index=25")
+    from_dict = normalize_adversary_spec(
+        {"kind": "RANDOM", "count": 5, "max_action_index": 25}
+    )
+    assert from_string == from_dict
+    assert normalize_adversary_spec(None) is None
+    assert normalize_adversary_spec("none") is None
+
+
+def test_delay_spec_errors_and_round_trip():
+    assert normalize_delay_spec("fixed:2") == {"kind": "fixed", "delay": 2.0}
+    with pytest.raises(ConfigurationError, match="warp"):
+        delay_model_from_spec("warp:9")
+    with pytest.raises(ConfigurationError, match="low"):
+        delay_model_from_spec({"kind": "uniform", "wrong": 1})
+    # Junk numbers must surface as ConfigurationError, not bare ValueError.
+    with pytest.raises(ConfigurationError, match="number"):
+        delay_model_from_spec("uniform:abc")
+    with pytest.raises(ConfigurationError, match="number"):
+        delay_model_from_spec({"kind": "fixed", "delay": "soon"})
+
+
+def test_unknown_scenario_field_is_rejected():
+    with pytest.raises(ConfigurationError, match="wrong_field"):
+        Scenario.from_dict({"protocol": "a", "n": 8, "t": 2, "wrong_field": 1})
+
+
+def test_scenario_missing_required_fields():
+    with pytest.raises(ConfigurationError, match="t"):
+        Scenario.from_dict({"protocol": "a", "n": 8})
+
+
+# ---- engine-aware registry ---------------------------------------------------
+
+
+def test_registry_reports_both_engine_kinds():
+    everything = available_protocols()
+    assert "a" in everything and "a-async" in everything
+    assert "a-async" in available_protocols("async")
+    assert "a-async" not in available_protocols("sync")
+    assert set(available_protocols()) == set(
+        available_protocols("sync") + available_protocols("async")
+    )
+
+
+def test_entries_carry_engine_and_capability_metadata():
+    assert get_entry("A").engine == "sync"
+    assert get_entry("a-async").engine == "async"
+    assert get_entry("a").single_active
+    assert not get_entry("d").single_active
+
+
+def test_run_protocol_rejects_async_entries_helpfully():
+    with pytest.raises(ConfigurationError, match="[Ss]cenario"):
+        run_protocol("A-async", 16, 4)
+
+
+def test_engine_auto_resolves_from_registry():
+    assert Scenario(protocol="A", n=8, t=2).resolved_engine == "sync"
+    assert Scenario(protocol="A-async", n=8, t=2).resolved_engine == "async"
+    with pytest.raises(ConfigurationError, match="sync"):
+        Scenario(protocol="A", n=8, t=2, engine="async").resolved_engine
+
+
+def test_engine_mismatched_fields_are_rejected():
+    with pytest.raises(ConfigurationError, match="crash_times"):
+        Scenario(protocol="A", n=8, t=2, crash_times={0: 1.0}).run()
+    with pytest.raises(ConfigurationError, match="crash_times"):
+        Scenario(protocol="A-async", n=8, t=2, adversary="random:1").run()
+
+
+# ---- sweeps ------------------------------------------------------------------
+
+
+def test_sweep_fans_out_seeds_and_adversaries():
+    sweep = Sweep(
+        base=Scenario(protocol="A", n=24, t=4),
+        seeds=range(2),
+        adversaries=[None, "random:2,max_action_index=6"],
+    )
+    results = sweep.run()
+    assert len(results) == 4
+    assert results.all_completed
+    worst, mean = results.worst(), results.mean()
+    assert worst["work"] >= 24
+    assert worst["work"] >= mean["work"]
+    json.dumps(results.as_dict())
+
+
+def test_sweep_over_protocols_renders_table():
+    sweep = Sweep(
+        base=Scenario(protocol="A", n=24, t=4, seed=1),
+        protocols=["A", "D"],
+        adversaries=[None, "kill-active:2"],
+    )
+    table = sweep.run().table(reduce="worst")
+    assert "| a" in table and "| d" in table
+    assert "effort" in table
+
+
+def test_sweep_serialization_round_trip():
+    sweep = Sweep(
+        base=Scenario(protocol="B", n=16, t=4),
+        seeds=[0, 1],
+        adversaries=["random:1"],
+        protocols=["a", "b"],
+    )
+    revived = Sweep.from_json(sweep.to_json())
+    assert revived.to_dict() == sweep.to_dict()
+    assert [s.to_dict() for s in revived.scenarios()] == [
+        s.to_dict() for s in sweep.scenarios()
+    ]
+
+
+def test_package_exports_scenario_surface():
+    assert repro.Scenario is Scenario
+    assert repro.Sweep is Sweep
+    assert repro.ResultSet is ResultSet

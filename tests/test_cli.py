@@ -1,8 +1,11 @@
 """The ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
+from repro.api import Scenario
 
 
 def test_list_protocols(capsys):
@@ -58,3 +61,110 @@ def test_report_quick(tmp_path, capsys, monkeypatch):
 def test_unknown_protocol_is_rejected():
     with pytest.raises(SystemExit):
         main(["run", "zz", "--n", "8", "--t", "2"])
+
+
+def test_protocol_names_accepted_case_insensitively(capsys):
+    assert main(["run", "B", "--n", "32", "--t", "4"]) == 0
+    assert "work" in capsys.readouterr().out
+
+
+def test_list_shows_engine_kinds(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "a-async" in out
+    assert "[async]" in out and "[sync]" in out
+
+
+def test_run_json_output(capsys):
+    assert main(["run", "b", "--n", "32", "--t", "4", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["completed"] is True
+    assert payload["metrics"]["work"] >= 32
+    assert payload["config"]["protocol"] == "b"
+
+
+def test_run_adversary_spec_flag(capsys):
+    assert (
+        main(
+            [
+                "run", "b", "--n", "32", "--t", "8", "--json",
+                "--adversary", "kill-active:3,actions_before_kill=4",
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["config"]["adversary"] == {
+        "kind": "kill-active", "budget": 3, "actions_before_kill": 4,
+    }
+    assert payload["metrics"]["crashes"] == 3
+
+
+def test_crashes_and_kill_active_compose(capsys):
+    # The seed CLI silently dropped --crashes when --kill-active was set;
+    # now both shorthands apply side by side.
+    assert (
+        main(
+            [
+                "run", "a", "--n", "32", "--t", "8", "--seed", "3", "--json",
+                "--crashes", "2", "--kill-active", "1",
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    kinds = [part["kind"] for part in payload["config"]["adversary"]["parts"]]
+    assert sorted(kinds) == ["kill-active", "random"]
+    # More crashes than either shorthand alone could cause (budget 1 / count 2
+    # victims may overlap, but both parts demonstrably fire).
+    assert payload["metrics"]["crashes"] >= 2
+
+
+def test_adversary_knobs_are_exposed(capsys):
+    assert (
+        main(
+            [
+                "run", "a", "--n", "32", "--t", "8", "--json",
+                "--crashes", "2", "--max-action-index", "7",
+                "--kill-active", "1", "--actions-before-kill", "5",
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    parts = {part["kind"]: part for part in payload["config"]["adversary"]["parts"]}
+    assert parts["random"]["max_action_index"] == 7
+    assert parts["kill-active"]["actions_before_kill"] == 5
+
+
+def test_run_async_protocol(capsys):
+    assert main(["run", "a-async", "--n", "32", "--t", "4", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["completed"] is True
+    assert payload["config"]["protocol"] == "a-async"
+
+
+def test_run_scenario_file_matches_in_memory(tmp_path, capsys):
+    scenario = Scenario(
+        protocol="b", n=48, t=6, adversary="random:2,max_action_index=9", seed=7
+    )
+    path = scenario.save(tmp_path / "scenario.json")
+    assert main(["run", "--scenario", str(path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["metrics"] == scenario.run().to_dict()["metrics"]
+
+
+def test_run_scenario_conflicts_with_protocol(tmp_path, capsys):
+    path = Scenario(protocol="a", n=8, t=2).save(tmp_path / "s.json")
+    assert main(["run", "a", "--scenario", str(path)]) == 2
+    assert main(["run"]) == 2
+
+
+def test_compare_json(capsys):
+    assert (
+        main(["compare", "--n", "32", "--t", "4", "--protocols", "a", "d", "--json"])
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert [entry["config"]["protocol"] for entry in payload] == ["a", "d"]
+    assert all(entry["completed"] for entry in payload)
