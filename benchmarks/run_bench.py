@@ -77,6 +77,14 @@ SMOKE_SCENARIOS = [
         "crash_times": {pid: 4.0 + 7.0 * pid for pid in range(2)},
         "seed": 1,
     },
+    {
+        "name": "D_dynamic_small",
+        "protocol": "D-dynamic",
+        "n": 64,
+        "t": 8,
+        "seed": 1,
+        "options": {"schedule": "arrivals:0x32,12x32", "cycle_length": 12},
+    },
 ]
 
 FULL_SCENARIOS = [
@@ -131,6 +139,16 @@ FULL_SCENARIOS = [
         "delay": "uniform:0.5,4.0",
         "crash_times": {pid: 4.0 + 7.0 * pid for pid in range(16)},
         "seed": 1,
+    },
+    {
+        # Dynamic arrivals (schedule spec): periodic agreement over a
+        # workload that trickles in as three bursts.
+        "name": "D_dynamic_n2048_t64",
+        "protocol": "D-dynamic",
+        "n": 2048,
+        "t": 64,
+        "seed": 1,
+        "options": {"schedule": "arrivals:0x1024,40x512,80x512", "cycle_length": 20},
     },
 ]
 

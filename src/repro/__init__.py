@@ -27,8 +27,9 @@ See ``docs/api.md`` for the declarative Scenario/Sweep tour.
 
 from repro.agreement.byzantine import AgreementOutcome, ByzantineAgreement
 from repro.analysis.verify import VerificationReport, verify_run
-from repro.api import ResultSet, Scenario, Sweep
+from repro.api import ResultSet, Scenario, Sweep, run_scenarios
 from repro.core.registry import available_protocols, build_processes, run_protocol
+from repro.suites import Suite, SuiteReport, load_suite
 from repro.errors import (
     AdversaryError,
     BudgetExceeded,
@@ -59,6 +60,8 @@ __all__ = [
     "RunResult",
     "Scenario",
     "SimulationStalled",
+    "Suite",
+    "SuiteReport",
     "Sweep",
     "VerificationReport",
     "WorkSpec",
@@ -66,6 +69,8 @@ __all__ = [
     "verify_run",
     "available_protocols",
     "build_processes",
+    "load_suite",
     "run_protocol",
+    "run_scenarios",
     "__version__",
 ]

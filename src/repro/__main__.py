@@ -21,6 +21,20 @@ Subcommands:
 
 * ``list`` - list registered protocols with engine kind and description.
 
+* ``suite`` - versioned, regression-pinned scenario suites (see
+  ``docs/suites.md``)::
+
+      python -m repro suite list                                  # shipped suites
+      python -m repro suite run scenarios/paper_battery.json --workers 4
+      python -m repro suite check scenarios/*.json --out report.json
+
+  ``run`` executes a suite and prints/exports the per-entry worst-case
+  report (exit 1 if any run fails to complete); ``check`` additionally
+  enforces the regression pins exactly (``--update-pins`` rewrites them
+  from the observed values instead).  ``--workers N`` fans the suite's
+  runs out to a multiprocessing pool; metrics are bit-identical to
+  ``--workers 1``.
+
 Adversaries come from declarative specs (``--adversary KIND:ARGS``, see
 ``docs/api.md``); ``--crashes`` and ``--kill-active`` remain as
 shorthands and *compose* when both are given.  ``--json`` emits the
@@ -38,6 +52,7 @@ from typing import List, Optional
 from repro.analysis.tables import render_table
 from repro.api import ENGINE_CHOICES, Scenario
 from repro.core.registry import available_protocols, get_entry
+from repro.errors import ConfigurationError
 
 
 def _adversary_spec(args):
@@ -70,6 +85,9 @@ def _adversary_spec(args):
 
 
 def _scenario_from_args(args, protocol: str) -> Scenario:
+    options = {}
+    if getattr(args, "schedule", None):
+        options["schedule"] = args.schedule
     return Scenario(
         protocol=protocol,
         n=args.n,
@@ -78,6 +96,7 @@ def _scenario_from_args(args, protocol: str) -> Scenario:
         seed=args.seed,
         adversary=_adversary_spec(args),
         delay=getattr(args, "delay", None),
+        options=options,
     )
 
 
@@ -168,6 +187,94 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _cmd_suite_list(args) -> int:
+    from repro.suites import discover_suites, load_suite
+
+    paths = discover_suites(args.directory)
+    if not paths:
+        print(f"no suite files found under {args.directory}/", file=sys.stderr)
+        return 1
+    invalid = 0
+    for path in paths:
+        try:
+            suite = load_suite(path)
+        except Exception as exc:  # surface broken files instead of hiding them
+            print(f"{path}: INVALID ({exc})")
+            invalid += 1
+            continue
+        pinned = sum(1 for entry in suite.entries if entry.pins)
+        print(
+            f"{path}  [{suite.name} v{suite.version}]  "
+            f"{len(suite.entries)} entries ({pinned} pinned)"
+            + (f"  {suite.description}" if suite.description else "")
+        )
+    return 1 if invalid else 0
+
+
+def _run_suites(args, *, enforce_pins: bool) -> int:
+    from repro.suites import load_suite
+
+    if getattr(args, "update_pins", False):
+        # Fail before running anything: pins are written back as JSON.
+        for path in args.files:
+            if not str(path).lower().endswith(".json"):
+                raise ConfigurationError(
+                    f"--update-pins writes the suite back as JSON and cannot "
+                    f"rewrite {path}; convert the suite to .json first"
+                )
+    reports = []
+    failed = False
+    for path in args.files:
+        suite = load_suite(path)
+        report = suite.run(workers=args.workers)
+        reports.append(report)
+        if getattr(args, "update_pins", False):
+            incomplete = [e.name for e in report.entries if not e.all_completed]
+            if incomplete:
+                raise ConfigurationError(
+                    f"refusing to rebaseline {path}: {incomplete} did not "
+                    "complete every run; pins must come from healthy runs"
+                )
+            updated = suite.with_pins_from(report)
+            updated.save()
+            # Re-diff the observations against the pins that now exist,
+            # so --json/--out artifacts reflect the rebaselined state.
+            reports[-1] = report.repinned(updated)
+            print(f"rewrote pins of {path} from observed values")
+            continue
+        if not args.json:
+            print(report.table())
+        if enforce_pins:
+            messages = report.failures()
+        else:  # ``run`` reports pins but only completion is fatal
+            messages = [
+                f"{report.suite}/{entry.name}: not every run completed its work"
+                for entry in report.entries
+                if not entry.all_completed
+            ]
+        for message in messages:
+            print(f"FAIL {message}", file=sys.stderr)
+            failed = True
+    if args.json:
+        payload = [report.as_dict() for report in reports]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.out:
+        payload = [report.as_dict() for report in reports]
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _cmd_suite_run(args) -> int:
+    return _run_suites(args, enforce_pins=False)
+
+
+def _cmd_suite_check(args) -> int:
+    return _run_suites(args, enforce_pins=True)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Do-All protocols from Dwork-Halpern-Waarts 1992"
@@ -196,6 +303,13 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="SPEC",
             help="async delay model spec, e.g. 'uniform:0.5,4.0' or 'fixed:1'",
+        )
+        p.add_argument(
+            "--schedule",
+            default=None,
+            metavar="SPEC",
+            help="arrival-schedule spec for dynamic-workload protocols "
+            "(D-dynamic), e.g. 'arrivals:0x8,3x4' or 'uniform:every=2'",
         )
         p.add_argument(
             "--crashes",
@@ -262,13 +376,71 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_p = sub.add_parser("list", help="list registered protocols")
     list_p.set_defaults(func=_cmd_list)
+
+    suite_p = sub.add_parser(
+        "suite", help="run, list and check versioned scenario suites"
+    )
+    suite_sub = suite_p.add_subparsers(dest="suite_command", required=True)
+
+    def add_suite_common(p):
+        p.add_argument(
+            "files", nargs="+", metavar="FILE", help="suite file(s) (.json/.toml)"
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="multiprocessing pool size (1 = serial; metrics are "
+            "bit-identical either way)",
+        )
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="emit the machine-readable report instead of tables",
+        )
+        p.add_argument(
+            "--out",
+            default=None,
+            metavar="PATH",
+            help="also write the JSON report to PATH (CI artifact)",
+        )
+
+    suite_run_p = suite_sub.add_parser(
+        "run", help="execute suites and report observed worst-case metrics"
+    )
+    add_suite_common(suite_run_p)
+    suite_run_p.set_defaults(func=_cmd_suite_run, update_pins=False)
+
+    suite_check_p = suite_sub.add_parser(
+        "check", help="execute suites and enforce their regression pins"
+    )
+    add_suite_common(suite_check_p)
+    suite_check_p.add_argument(
+        "--update-pins",
+        action="store_true",
+        help="rewrite each suite file's pins from the observed values "
+        "instead of enforcing them (rebaselining)",
+    )
+    suite_check_p.set_defaults(func=_cmd_suite_check)
+
+    suite_list_p = suite_sub.add_parser("list", help="list shipped suite files")
+    suite_list_p.add_argument(
+        "directory", nargs="?", default="scenarios", help="suite directory"
+    )
+    suite_list_p.set_defaults(func=_cmd_suite_list)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigurationError as exc:
+        # Misconfiguration is a user error: one named line, exit 2 (the
+        # same code argparse uses), never a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -7,7 +7,10 @@ Adversary grids are built from declarative specs (see
 alongside the legacy zero-argument factories, and :func:`battery` turns
 a list of specs into fresh-instance factories.  For the richer
 fan-out-and-reduce surface (seeds x adversaries x protocols, mean as
-well as worst-case, JSON export) use :class:`repro.api.Sweep`.
+well as worst-case, JSON export, multiprocessing via
+``run(workers=N)``) use :class:`repro.api.Sweep`; for *versioned,
+regression-pinned* batteries that CI runs wholesale, write a suite file
+instead (:mod:`repro.suites`, ``docs/suites.md``).
 """
 
 from __future__ import annotations

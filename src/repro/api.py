@@ -27,7 +27,10 @@ failure-detector window::
 optionally protocols) and aggregates the executions in a
 :class:`ResultSet` with the paper's worst-case reducer (its theorems are
 worst-case statements) plus a mean reducer, markdown tables and JSON
-export.
+export.  ``Sweep.run(workers=4)`` executes the grid on a multiprocessing
+pool - scenarios are plain data, so grid points ship to workers as dicts
+and the metrics are bit-identical to a serial run (see
+:func:`run_scenarios`).
 
 ``repro.run_protocol`` remains the stable synchronous shorthand; this
 module is a superset of it, not a replacement.
@@ -38,9 +41,11 @@ from __future__ import annotations
 import copy
 import dataclasses
 import json
+import multiprocessing
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core import registry
 from repro.errors import ConfigurationError
@@ -58,6 +63,7 @@ from repro.sim.async_engine import (
 )
 from repro.sim.engine import Engine
 from repro.sim.failure_detector import FailureDetector
+from repro.sim.specs import normalize_schedule_spec
 from repro.sim.metrics import RunResult
 from repro.work.tracker import WorkTracker
 
@@ -140,6 +146,15 @@ class Scenario:
             self.adversary = normalize_adversary_spec(self.adversary)
         if not callable(self.delay):
             self.delay = normalize_delay_spec(self.delay)
+        if "schedule" in self.options:
+            # By convention the ``schedule`` builder option is a schedule
+            # spec (dynamic-workload protocols); canonicalise it like the
+            # other spec families so a bad spec fails at construction and
+            # spelling variants compare equal.
+            self.options = {
+                **self.options,
+                "schedule": normalize_schedule_spec(self.options["schedule"]),
+            }
         if self.failure_detector is not None:
             unknown = set(self.failure_detector) - set(_FD_FIELDS)
             if unknown:
@@ -201,7 +216,9 @@ class Scenario:
         engine_kind = self.resolved_engine
         self._check_engine_fields(engine_kind)
         entry = registry.get_entry(self.protocol)
-        processes = entry.builder(self.n, self.t, **self.options)
+        processes = registry.build_processes(
+            self.protocol, self.n, self.t, **self.options
+        )
         tracker = WorkTracker(self.n)
         if engine_kind == "sync":
             strict = self.strict_invariants
@@ -352,6 +369,55 @@ class Scenario:
 
 
 # =====================================================================
+# Parallel execution
+# =====================================================================
+
+
+def _run_scenario_payload(payload: Dict[str, Any]) -> RunResult:
+    """Worker-side entry point: rebuild the scenario from its dict form
+    and run it.  Top-level so it pickles under every start method."""
+    return Scenario.from_dict(payload).run()
+
+
+def _pool_context():
+    # ``fork`` keeps worker start-up cheap and inherits the registry
+    # as-is, but is only safe on Linux (macOS offers fork yet CPython
+    # made spawn its default there because fork-without-exec breaks
+    # system frameworks); everywhere else use the platform default.
+    if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_scenarios(
+    scenarios: Iterable[Scenario], *, workers: Optional[int] = None
+) -> List[RunResult]:
+    """Run ``scenarios`` in order and return their results in order.
+
+    ``workers=None`` (or ``0``/``1``) runs serially in-process - the
+    deterministic fallback.  ``workers > 1`` ships each scenario to a
+    ``multiprocessing`` pool *as its dict form*; every run is a pure
+    function of that dict and its seed, so the returned metrics are
+    bit-identical to the serial path (pinned by
+    ``tests/test_suites.py``).  Scenarios holding live adversary
+    instances cannot be shipped and raise :class:`ConfigurationError` -
+    use declarative specs, or run serially.
+    """
+    scenarios = list(scenarios)
+    if workers is None or workers <= 1 or len(scenarios) <= 1:
+        return [scenario.run() for scenario in scenarios]
+    try:
+        payloads = [scenario.to_dict() for scenario in scenarios]
+    except ConfigurationError as exc:
+        raise ConfigurationError(
+            "parallel execution ships scenarios to workers as dicts, but a "
+            f"scenario does not serialize: {exc}"
+        ) from exc
+    with _pool_context().Pool(min(workers, len(scenarios))) as pool:
+        return pool.map(_run_scenario_payload, payloads, chunksize=1)
+
+
+# =====================================================================
 # Sweeps and aggregation
 # =====================================================================
 
@@ -486,8 +552,18 @@ class Sweep:
                         protocol=protocol, adversary=adversary, seed=seed
                     )
 
-    def run(self) -> ResultSet:
-        return ResultSet([(scenario, scenario.run()) for scenario in self.scenarios()])
+    def run(self, *, workers: Optional[int] = None) -> ResultSet:
+        """Execute the full grid and aggregate it.
+
+        ``workers > 1`` fans grid points out to a multiprocessing pool
+        (the grid is embarrassingly parallel); results come back in grid
+        order with metrics bit-identical to the serial default.  See
+        :func:`run_scenarios`.
+        """
+        scenarios = list(self.scenarios())
+        return ResultSet(
+            list(zip(scenarios, run_scenarios(scenarios, workers=workers)))
+        )
 
     # ---- serialization -----------------------------------------------
 
@@ -537,4 +613,5 @@ __all__ = [
     "ResultSet",
     "Scenario",
     "Sweep",
+    "run_scenarios",
 ]

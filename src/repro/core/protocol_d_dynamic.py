@@ -274,3 +274,30 @@ def uniform_arrivals(
     return ArrivalSchedule(
         (start + (unit - 1) * every, (unit - 1) % t, unit) for unit in range(1, n + 1)
     )
+
+
+def build_dynamic_protocol_d_from_spec(
+    n: int,
+    t: int,
+    *,
+    schedule=None,
+    cycle_length: int = 16,
+) -> List[DynamicProtocolDProcess]:
+    """Registry-compatible builder: ``(n, t)`` plus a declarative
+    *schedule spec* (see :mod:`repro.sim.specs`) instead of a live
+    :class:`ArrivalSchedule`.
+
+    This is what makes the dynamic variant addressable as ``D-dynamic``
+    from :class:`repro.api.Scenario`, the CLI, sweeps and suites::
+
+        Scenario(protocol="D-dynamic", n=12, t=4,
+                 options={"schedule": "arrivals:0x8,3x4"}).run()
+
+    ``schedule=None`` means the uniform default (one unit every third
+    round, sites round-robin).
+    """
+    from repro.sim.specs import schedule_from_spec
+
+    return build_dynamic_protocol_d(
+        t, schedule_from_spec(n, t, schedule), cycle_length=cycle_length
+    )

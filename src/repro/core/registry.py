@@ -27,13 +27,20 @@ name              description                                     engine  paper 
 ``C-batched``     C reporting every n/t units, O(t log t) msgs    sync    Cor. 3.9
 ``C-naive``       knowledge spreading without fault detection     sync    Section 3
 ``D``             parallel work + agreement phases, time-optimal  sync    Section 4
+``D-dynamic``     D with dynamic work arrivals (schedule spec)    sync    Section 4 remark
 ``replicate``     every process does everything                   sync    Section 1
 ``naive``         single worker, checkpoint-all every k units     sync    Sections 1-2
 ================  ==============================================  ======  ==========
+
+``D-dynamic`` takes its workload from a declarative *schedule spec*
+(builder option ``schedule``, e.g. ``"arrivals:0x8,3x4"``; see
+:mod:`repro.sim.specs`), so dynamic-arrival runs are addressable from
+scenarios, sweeps and suites like every other protocol.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -136,7 +143,23 @@ def protocol_engine(name: str) -> str:
 
 
 def build_processes(name: str, n: int, t: int, **options) -> List[Process]:
-    return list(get_entry(name).builder(n, t, **options))
+    """Invoke ``name``'s builder, turning a builder-*signature* mismatch
+    (e.g. a ``schedule`` option passed to a static protocol) into a
+    named :class:`ConfigurationError` instead of a raw ``TypeError``.
+    A ``TypeError`` raised by a bug *inside* a builder (its signature
+    binds fine) propagates untouched."""
+    entry = get_entry(name)
+    try:
+        return list(entry.builder(n, t, **options))
+    except TypeError as exc:
+        try:
+            inspect.signature(entry.builder).bind(n, t, **options)
+        except TypeError:
+            raise ConfigurationError(
+                f"protocol {entry.name!r} rejected builder option(s) "
+                f"{sorted(options)}: {exc}"
+            ) from exc
+        raise
 
 
 def run_protocol(
@@ -239,6 +262,16 @@ def _register_builtins() -> None:
             "D",
             build_protocol_d,
             description="parallel work + agreement phases, time-optimal",
+        )
+    except ImportError:  # pragma: no cover
+        pass
+    try:
+        from repro.core.protocol_d_dynamic import build_dynamic_protocol_d_from_spec
+
+        register(
+            "D-dynamic",
+            build_dynamic_protocol_d_from_spec,
+            description="D with dynamic work arrivals (schedule spec)",
         )
     except ImportError:  # pragma: no cover
         pass

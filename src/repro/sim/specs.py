@@ -1,19 +1,52 @@
-"""Shared tokenizer for the declarative spec string grammar.
+"""Shared tokenizer for the declarative spec string grammar, plus the
+arrival-*schedule* spec grammar for dynamic-workload protocols.
 
-Both adversary specs (:mod:`repro.sim.adversary`) and delay-model specs
-(:mod:`repro.sim.async_engine`) use the same surface syntax::
+Adversary specs (:mod:`repro.sim.adversary`), delay-model specs
+(:mod:`repro.sim.async_engine`) and schedule specs (below) all use the
+same surface syntax::
 
     KIND                      e.g.  "kill-active"
     KIND:ARG,ARG,...          e.g.  "random:5,max_action_index=25"
 
-This module owns the ``KIND:ARG`` splitting so the two parsers cannot
+This module owns the ``KIND:ARG`` splitting so the parsers cannot
 drift; value *coercion* stays domain-specific (adversaries take ranges
-and pid lists, delay models take numbers).
+and pid lists, delay models take numbers, schedules take round/count
+batches).
+
+Schedule specs
+--------------
+
+Dynamic-workload protocols (``D-dynamic``) are driven by an
+:class:`~repro.core.protocol_d_dynamic.ArrivalSchedule` - work units
+arrive at sites over time - so they take a *schedule spec* instead of
+assuming all ``n`` units are known at round 0.  The grammar:
+
+``"uniform"`` / ``"uniform:every=3,start=0"``
+    Unit ``u`` (1-based) arrives at site ``(u - 1) % t`` at round
+    ``start + (u - 1) * every`` - the default when no spec is given.
+
+``"arrivals:0x8,3x4"``
+    Explicit arrival *batches*: each positional ``ROUNDxCOUNT`` pair
+    drops ``COUNT`` units at round ``ROUND``.  Units are numbered
+    sequentially across batches in the order written and land
+    round-robin on sites.  The batch counts must sum to the scenario's
+    ``n``.
+
+dict forms
+    ``{"kind": "uniform", "every": 3, "start": 0}``,
+    ``{"kind": "arrivals", "batches": [[0, 8], [3, 4]]}``, and
+    ``{"kind": "explicit", "arrivals": [[round, site, unit], ...]}``
+    (the fully general form; the unit set must be exactly ``1..n``).
+
+:func:`normalize_schedule_spec` canonicalises any of these to the dict
+form (so specs embedded in scenario ``options`` serialize and compare
+cleanly); :func:`schedule_from_spec` materialises an
+:class:`ArrivalSchedule` for a concrete ``(n, t)``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
 
@@ -62,3 +95,229 @@ def to_number(value, *, what: str) -> float:
         return float(value)
     except (TypeError, ValueError):
         raise ConfigurationError(f"{what} must be a number, got {value!r}")
+
+
+# =====================================================================
+# Arrival-schedule specs (dynamic-workload protocols)
+# =====================================================================
+
+#: What schedule-accepting entry points take: ``None`` (the uniform
+#: default), a grammar string, or a JSON-compatible dict.
+ScheduleSpec = Union[None, str, Dict[str, object]]
+
+SCHEDULE_KINDS = ("uniform", "arrivals", "explicit")
+
+
+def _to_int(value, *, what: str, minimum: Optional[int] = None) -> int:
+    try:
+        result = int(value)
+        if isinstance(value, float) and value != result:
+            raise ValueError
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{what} must be an integer, got {value!r}")
+    if minimum is not None and result < minimum:
+        raise ConfigurationError(f"{what} must be >= {minimum}, got {result}")
+    return result
+
+
+def _normalize_batches(raw, *, what: str) -> List[List[int]]:
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise ConfigurationError(
+            f"{what} must be a non-empty list of [round, count] pairs, got {raw!r}"
+        )
+    batches = []
+    for pair in raw:
+        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+            raise ConfigurationError(
+                f"each batch in {what} must be a [round, count] pair "
+                f"(string form: ROUNDxCOUNT), got {pair!r}"
+            )
+        batches.append(
+            [
+                _to_int(pair[0], what=f"{what} round", minimum=0),
+                _to_int(pair[1], what=f"{what} count", minimum=1),
+            ]
+        )
+    return batches
+
+
+def _parse_schedule_string(text: str) -> Dict[str, object]:
+    kind, positional, named = split_spec_string(text)
+    if kind == "uniform":
+        bound = bind_positionals(
+            kind, ("every",), positional, what="schedule kind"
+        )
+        # Unknown-parameter validation happens in the dict path of
+        # normalize_schedule_spec, which every string spec flows through.
+        return {"kind": "uniform", **bound, **named}
+    if kind == "arrivals":
+        if named:
+            raise ConfigurationError(
+                "schedule kind 'arrivals' takes only positional ROUNDxCOUNT "
+                f"batches, got named argument(s) {sorted(named)}"
+            )
+        batches = []
+        for part in positional:
+            head, sep, tail = part.partition("x")
+            if not sep:
+                raise ConfigurationError(
+                    f"bad arrival batch {part!r}; expected ROUNDxCOUNT "
+                    "(e.g. 'arrivals:0x8,3x4')"
+                )
+            batches.append([head, tail])
+        return {"kind": "arrivals", "batches": batches}
+    if kind == "explicit":
+        raise ConfigurationError(
+            "schedule kind 'explicit' has no string form; pass the dict "
+            'form {"kind": "explicit", "arrivals": [[round, site, unit], ...]}'
+        )
+    raise ConfigurationError(
+        f"unknown schedule kind {kind!r}; known kinds: "
+        + ", ".join(SCHEDULE_KINDS)
+    )
+
+
+def normalize_schedule_spec(spec: ScheduleSpec) -> Dict[str, object]:
+    """Canonicalise ``spec`` to a validated, JSON-compatible
+    ``{"kind": ..., <param>: ...}`` dict.
+
+    ``None`` means the uniform default.  Raises
+    :class:`ConfigurationError` naming the offending kind or parameter.
+    """
+    if spec is None:
+        spec = {"kind": "uniform"}
+    if isinstance(spec, str):
+        spec = _parse_schedule_string(spec)
+    if not isinstance(spec, dict):
+        raise ConfigurationError(
+            f"schedule spec must be None, a string, or a dict, got "
+            f"{type(spec).__name__}"
+        )
+    if "kind" not in spec:
+        raise ConfigurationError(
+            "schedule spec dicts need a 'kind' key; known kinds: "
+            + ", ".join(SCHEDULE_KINDS)
+        )
+    kind = str(spec["kind"]).strip().lower()
+    if kind not in SCHEDULE_KINDS:
+        raise ConfigurationError(
+            f"unknown schedule kind {spec['kind']!r}; known kinds: "
+            + ", ".join(SCHEDULE_KINDS)
+        )
+    params = {str(k).replace("-", "_"): v for k, v in spec.items() if k != "kind"}
+    if kind == "uniform":
+        unknown = set(params) - {"every", "start"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown parameter(s) {sorted(unknown)} for schedule kind "
+                "'uniform'; accepted: every, start"
+            )
+        result: Dict[str, object] = {"kind": "uniform"}
+        if "every" in params:
+            result["every"] = _to_int(
+                params["every"], what="'every' for schedule 'uniform'", minimum=1
+            )
+        if "start" in params:
+            result["start"] = _to_int(
+                params["start"], what="'start' for schedule 'uniform'", minimum=0
+            )
+        return result
+    if kind == "arrivals":
+        unknown = set(params) - {"batches"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown parameter(s) {sorted(unknown)} for schedule kind "
+                "'arrivals'; accepted: batches"
+            )
+        if "batches" not in params:
+            raise ConfigurationError(
+                "schedule kind 'arrivals' requires parameter(s) ['batches']"
+            )
+        return {
+            "kind": "arrivals",
+            "batches": _normalize_batches(
+                params["batches"], what="'batches' for schedule 'arrivals'"
+            ),
+        }
+    # explicit
+    unknown = set(params) - {"arrivals"}
+    if unknown:
+        raise ConfigurationError(
+            f"unknown parameter(s) {sorted(unknown)} for schedule kind "
+            "'explicit'; accepted: arrivals"
+        )
+    if "arrivals" not in params:
+        raise ConfigurationError(
+            "schedule kind 'explicit' requires parameter(s) ['arrivals']"
+        )
+    raw = params["arrivals"]
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise ConfigurationError(
+            "'arrivals' for schedule 'explicit' must be a non-empty list of "
+            f"[round, site, unit] triples, got {raw!r}"
+        )
+    arrivals = []
+    for triple in raw:
+        if not isinstance(triple, (list, tuple)) or len(triple) != 3:
+            raise ConfigurationError(
+                "each arrival for schedule 'explicit' must be a "
+                f"[round, site, unit] triple, got {triple!r}"
+            )
+        arrivals.append(
+            [
+                _to_int(triple[0], what="arrival round", minimum=0),
+                _to_int(triple[1], what="arrival site", minimum=0),
+                _to_int(triple[2], what="arrival unit", minimum=1),
+            ]
+        )
+    return {"kind": "explicit", "arrivals": arrivals}
+
+
+def schedule_from_spec(n: int, t: int, spec: ScheduleSpec):
+    """Materialise an :class:`~repro.core.protocol_d_dynamic.ArrivalSchedule`
+    covering exactly units ``1..n`` on ``t`` sites from a schedule spec.
+
+    Raises :class:`ConfigurationError` when the spec's unit count does
+    not match ``n`` or a site is out of range - the mistakes a suite
+    author actually makes.
+    """
+    # Imported lazily: the schedule *grammar* lives with the other spec
+    # grammars, but the materialised object belongs to the protocol layer.
+    from repro.core.protocol_d_dynamic import ArrivalSchedule, uniform_arrivals
+
+    params = normalize_schedule_spec(spec)
+    kind = params["kind"]
+    if kind == "uniform":
+        return uniform_arrivals(
+            n, t, every=params.get("every", 3), start=params.get("start", 0)
+        )
+    if kind == "arrivals":
+        batches = params["batches"]
+        total = sum(count for _, count in batches)
+        if total != n:
+            raise ConfigurationError(
+                f"schedule batches deliver {total} unit(s) but the scenario "
+                f"has n={n}; counts must sum to n"
+            )
+        arrivals = []
+        unit = 1
+        for round_number, count in batches:
+            for _ in range(count):
+                arrivals.append((round_number, (unit - 1) % t, unit))
+                unit += 1
+        return ArrivalSchedule(arrivals)
+    # explicit
+    arrivals = [tuple(triple) for triple in params["arrivals"]]
+    bad_sites = sorted({site for _, site, _ in arrivals if site >= t})
+    if bad_sites:
+        raise ConfigurationError(
+            f"arrival site(s) {bad_sites} out of range for t={t} processes"
+        )
+    units = {unit for _, _, unit in arrivals}
+    if units != set(range(1, n + 1)):
+        raise ConfigurationError(
+            f"explicit arrivals must cover exactly units 1..{n}; got "
+            f"{len(units)} distinct unit(s) "
+            f"spanning {min(units)}..{max(units)}"
+        )
+    return ArrivalSchedule(arrivals)

@@ -1,0 +1,513 @@
+"""Versioned scenario suites: regression-pinned batteries of runs.
+
+A *suite* is a versioned file (JSON, or TOML on Python 3.11+) holding a
+named list of :class:`~repro.api.Scenario` / :class:`~repro.api.Sweep`
+specs plus *regression pins* - the expected worst-case metrics per
+entry.  Every run in this package is a deterministic function of its
+serialized scenario, so pins are **exact**: ``suite check`` fails on any
+drift, which turns the shipped ``scenarios/`` directory into a
+regression-pinned catalog of every workload the repo covers (the same
+role the paper's tables play for its theorems).
+
+File format (see ``docs/suites.md`` for the full reference)::
+
+    {
+      "suite": "paper-battery",
+      "version": 1,
+      "description": "...",
+      "entries": [
+        {"name": "a-random", "scenario": {...Scenario dict...},
+         "pins": {"work": 140, "messages": 44, "effort": 184}},
+        {"name": "a-grid", "sweep": {...Sweep dict...},
+         "pins": {"effort": 553}}
+      ]
+    }
+
+Programmatic use::
+
+    from repro.suites import load_suite
+
+    report = load_suite("scenarios/paper_battery.json").run(workers=4)
+    assert report.passed, report.failures()
+
+CLI::
+
+    python -m repro suite list
+    python -m repro suite run scenarios/paper_battery.json --workers 4
+    python -m repro suite check scenarios/*.json --out report.json
+
+Pins compare against the entry's **worst-case** reduction (per-measure
+maxima over the entry's runs - one run for a scenario entry, the whole
+grid for a sweep entry), matching the paper's worst-case reading of its
+bounds.  Parallel execution (``workers > 1``) flattens every entry's
+runs into one pool and is bit-identical to serial execution
+(:func:`repro.api.run_scenarios`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.api import ResultSet, Scenario, Sweep, run_scenarios
+from repro.errors import ConfigurationError
+from repro.sim.metrics import RunResult
+
+#: The suite file format version this loader understands.
+SUITE_FORMAT_VERSION = 1
+
+#: Measures a pin may reference: the keys of the worst-case reduction.
+PIN_MEASURES = ("work", "messages", "effort", "rounds", "redundant_work", "crashes")
+
+_SUITE_FIELDS = {"suite", "version", "description", "entries"}
+_ENTRY_FIELDS = {"name", "scenario", "sweep", "pins"}
+
+
+# =====================================================================
+# Suite model + loader
+# =====================================================================
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One named workload of a suite: a scenario or a sweep, plus pins."""
+
+    name: str
+    scenario: Optional[Scenario] = None
+    sweep: Optional[Sweep] = None
+    pins: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def kind(self) -> str:
+        return "scenario" if self.scenario is not None else "sweep"
+
+    def scenarios(self) -> List[Scenario]:
+        """The concrete runs this entry expands to, in deterministic order."""
+        if self.scenario is not None:
+            return [self.scenario]
+        return list(self.sweep.scenarios())
+
+    @classmethod
+    def from_dict(cls, data: Any, *, where: str) -> "SuiteEntry":
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"{where} must be a dict, got {type(data).__name__}"
+            )
+        unknown = set(data) - _ENTRY_FIELDS
+        if unknown:
+            raise ConfigurationError(
+                f"unknown field(s) {sorted(unknown)} in {where}; accepted: "
+                + ", ".join(sorted(_ENTRY_FIELDS))
+            )
+        name = data.get("name")
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError(f"{where} needs a non-empty 'name' string")
+        has_scenario = "scenario" in data
+        has_sweep = "sweep" in data
+        if has_scenario == has_sweep:
+            raise ConfigurationError(
+                f"{where} ({name!r}) must hold exactly one of 'scenario' or "
+                "'sweep'"
+            )
+        pins_raw = data.get("pins", {})
+        if not isinstance(pins_raw, dict):
+            raise ConfigurationError(
+                f"'pins' of {where} ({name!r}) must be a dict, got "
+                f"{type(pins_raw).__name__}"
+            )
+        unknown_pins = set(pins_raw) - set(PIN_MEASURES)
+        if unknown_pins:
+            raise ConfigurationError(
+                f"unknown pin measure(s) {sorted(unknown_pins)} in {where} "
+                f"({name!r}); accepted: {', '.join(PIN_MEASURES)}"
+            )
+        pins: Dict[str, float] = {}
+        for measure, value in pins_raw.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigurationError(
+                    f"pin {measure!r} of {where} ({name!r}) must be a number, "
+                    f"got {value!r}"
+                )
+            pins[measure] = value
+        try:
+            if has_scenario:
+                return cls(
+                    name=name,
+                    scenario=Scenario.from_dict(data["scenario"]),
+                    pins=pins,
+                )
+            return cls(name=name, sweep=Sweep.from_dict(data["sweep"]), pins=pins)
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"{where} ({name!r}): {exc}") from exc
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"name": self.name}
+        if self.scenario is not None:
+            data["scenario"] = self.scenario.to_dict()
+        else:
+            data["sweep"] = self.sweep.to_dict()
+        if self.pins:
+            data["pins"] = {k: self.pins[k] for k in sorted(self.pins)}
+        return data
+
+
+@dataclass
+class Suite:
+    """A loaded, validated suite file."""
+
+    name: str
+    version: int
+    entries: List[SuiteEntry]
+    description: str = ""
+    path: Optional[Path] = None
+
+    @classmethod
+    def from_dict(cls, data: Any, *, path: Optional[Path] = None) -> "Suite":
+        where = f"suite file {path}" if path is not None else "suite dict"
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"{where} must hold a dict, got {type(data).__name__}"
+            )
+        unknown = set(data) - _SUITE_FIELDS
+        if unknown:
+            raise ConfigurationError(
+                f"unknown field(s) {sorted(unknown)} in {where}; accepted: "
+                + ", ".join(sorted(_SUITE_FIELDS))
+            )
+        missing = {"suite", "version", "entries"} - set(data)
+        if missing:
+            raise ConfigurationError(
+                f"{where} requires field(s) {sorted(missing)}"
+            )
+        name = data["suite"]
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError(f"'suite' of {where} must be a non-empty name")
+        version = data["version"]
+        if not isinstance(version, int) or isinstance(version, bool):
+            raise ConfigurationError(
+                f"'version' of {where} must be an integer, got {version!r}"
+            )
+        if version != SUITE_FORMAT_VERSION:
+            raise ConfigurationError(
+                f"{where} uses format version {version}, but this loader "
+                f"understands version {SUITE_FORMAT_VERSION}"
+            )
+        raw_entries = data["entries"]
+        if not isinstance(raw_entries, list) or not raw_entries:
+            raise ConfigurationError(
+                f"'entries' of {where} must be a non-empty list"
+            )
+        entries = [
+            SuiteEntry.from_dict(item, where=f"entry {index} of {where}")
+            for index, item in enumerate(raw_entries)
+        ]
+        seen: Dict[str, int] = {}
+        for index, entry in enumerate(entries):
+            if entry.name in seen:
+                raise ConfigurationError(
+                    f"duplicate entry name {entry.name!r} in {where} "
+                    f"(entries {seen[entry.name]} and {index})"
+                )
+            seen[entry.name] = index
+        return cls(
+            name=name,
+            version=version,
+            entries=entries,
+            description=str(data.get("description", "")),
+            path=path,
+        )
+
+    @classmethod
+    def from_file(cls, path) -> "Suite":
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read suite file {path}: {exc}") from exc
+        suffix = path.suffix.lower()
+        if suffix == ".json":
+            try:
+                data = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"suite file {path} is not valid JSON: {exc}"
+                ) from exc
+        elif suffix == ".toml":
+            try:
+                import tomllib
+            except ImportError:  # Python < 3.11
+                raise ConfigurationError(
+                    f"suite file {path} is TOML, which needs Python 3.11+ "
+                    "(tomllib); use the JSON form on older interpreters"
+                )
+            try:
+                data = tomllib.loads(text)
+            except tomllib.TOMLDecodeError as exc:
+                raise ConfigurationError(
+                    f"suite file {path} is not valid TOML: {exc}"
+                ) from exc
+        else:
+            raise ConfigurationError(
+                f"suite file {path} must end in .json or .toml"
+            )
+        return cls.from_dict(data, path=path)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "suite": self.name,
+            "version": self.version,
+        }
+        if self.description:
+            data["description"] = self.description
+        data["entries"] = [entry.to_dict() for entry in self.entries]
+        return data
+
+    def save(self, path=None) -> Path:
+        """Write the suite back as canonical JSON (pins included)."""
+        path = Path(path) if path is not None else self.path
+        if path is None:
+            raise ConfigurationError("this suite has no path; pass one to save()")
+        if path.suffix.lower() != ".json":
+            raise ConfigurationError(
+                f"suites are written back as JSON; cannot save to {path}"
+            )
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    # ---- execution ---------------------------------------------------
+
+    def run(self, *, workers: Optional[int] = None) -> "SuiteReport":
+        """Execute every entry and compare observations against pins.
+
+        All entries' runs are flattened into one list so ``workers``
+        parallelism spans the whole suite, then results are re-grouped
+        per entry; metrics are bit-identical to a serial run.
+        """
+        per_entry: List[Tuple[SuiteEntry, List[Scenario]]] = [
+            (entry, entry.scenarios()) for entry in self.entries
+        ]
+        flat = [scenario for _, scenarios in per_entry for scenario in scenarios]
+        results = run_scenarios(flat, workers=workers)
+        reports = []
+        index = 0
+        for entry, scenarios in per_entry:
+            chunk = results[index : index + len(scenarios)]
+            index += len(scenarios)
+            reports.append(_report_entry(entry, scenarios, chunk))
+        return SuiteReport(
+            suite=self.name,
+            version=self.version,
+            entries=reports,
+            workers=workers or 1,
+        )
+
+
+    def with_pins_from(self, report: "SuiteReport") -> "Suite":
+        """A copy whose entries pin the report's observed worst-case rows.
+
+        An entry with an explicit pin selection keeps it (only those
+        measures are refreshed); an unpinned entry gains the full
+        :data:`PIN_MEASURES` set.  Used by ``suite check --update-pins``
+        to (re)baseline a suite."""
+        observed = {entry.name: entry.observed for entry in report.entries}
+        missing = [e.name for e in self.entries if e.name not in observed]
+        if missing:
+            raise ConfigurationError(
+                f"report has no observation for entr{'y' if len(missing) == 1 else 'ies'} "
+                f"{missing}; it was produced from a different suite"
+            )
+        entries = [
+            dataclasses.replace(
+                entry,
+                pins={
+                    measure: observed[entry.name][measure]
+                    for measure in (sorted(entry.pins) if entry.pins else PIN_MEASURES)
+                },
+            )
+            for entry in self.entries
+        ]
+        return dataclasses.replace(self, entries=entries)
+
+
+def load_suite(path) -> Suite:
+    """Load and validate one suite file (JSON or TOML)."""
+    return Suite.from_file(path)
+
+
+def discover_suites(directory="scenarios") -> List[Path]:
+    """Suite files shipped in ``directory``, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        path
+        for path in directory.iterdir()
+        if path.suffix.lower() in (".json", ".toml")
+    )
+
+
+# =====================================================================
+# Reports
+# =====================================================================
+
+
+def _report_entry(
+    entry: SuiteEntry, scenarios: Sequence[Scenario], results: Sequence[RunResult]
+) -> "EntryReport":
+    result_set = ResultSet(list(zip(scenarios, results)))
+    return EntryReport(
+        name=entry.name,
+        kind=entry.kind,
+        runs=len(result_set),
+        observed=result_set.worst(),
+        pins=dict(entry.pins),
+        all_completed=result_set.all_completed,
+    )
+
+
+@dataclass(frozen=True)
+class EntryReport:
+    """Observed worst-case metrics of one entry, diffed against its pins."""
+
+    name: str
+    kind: str
+    runs: int
+    observed: Dict[str, float]
+    pins: Dict[str, float]
+    all_completed: bool
+
+    def failures(self) -> List[str]:
+        messages = []
+        if not self.all_completed:
+            messages.append("not every run completed its work")
+        for measure in sorted(self.pins):
+            pinned = self.pins[measure]
+            got = self.observed[measure]
+            if got != pinned:
+                messages.append(
+                    f"{measure}: observed {got!r} != pinned {pinned!r}"
+                )
+        return messages
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures()
+
+    @property
+    def pinned(self) -> bool:
+        return bool(self.pins)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "runs": self.runs,
+            "observed": dict(self.observed),
+            "pins": dict(self.pins),
+            "all_completed": self.all_completed,
+            "failures": self.failures(),
+            "passed": self.passed,
+        }
+
+
+@dataclass(frozen=True)
+class SuiteReport:
+    """Outcome of one suite run: per-entry observations + pin verdicts."""
+
+    suite: str
+    version: int
+    entries: List[EntryReport]
+    workers: int = 1
+
+    @property
+    def passed(self) -> bool:
+        return all(entry.passed for entry in self.entries)
+
+    @property
+    def total_runs(self) -> int:
+        return sum(entry.runs for entry in self.entries)
+
+    def failures(self) -> List[str]:
+        return [
+            f"{self.suite}/{entry.name}: {message}"
+            for entry in self.entries
+            for message in entry.failures()
+        ]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "suite": self.suite,
+            "version": self.version,
+            "workers": self.workers,
+            "total_runs": self.total_runs,
+            "passed": self.passed,
+            "entries": [entry.as_dict() for entry in self.entries],
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True) + "\n"
+
+    def repinned(self, suite: Suite) -> "SuiteReport":
+        """The same observations diffed against ``suite``'s (possibly
+        rewritten) pins — what ``--update-pins`` emits so its report
+        reflects the pins that now exist, not the ones it replaced."""
+        by_name = {entry.name: entry for entry in suite.entries}
+        return dataclasses.replace(
+            self,
+            entries=[
+                dataclasses.replace(entry, pins=dict(by_name[entry.name].pins))
+                if entry.name in by_name
+                else entry
+                for entry in self.entries
+            ],
+        )
+
+    def table(self) -> str:
+        from repro.analysis.tables import render_table
+
+        rows = []
+        for entry in self.entries:
+            observed = entry.observed
+            rows.append(
+                [
+                    entry.name,
+                    entry.kind,
+                    entry.runs,
+                    observed["work"],
+                    observed["messages"],
+                    observed["effort"],
+                    float(observed["rounds"]),
+                    "ok" if entry.passed else "FAIL",
+                    "-" if not entry.pinned else "exact",
+                ]
+            )
+        return render_table(
+            [
+                "entry",
+                "kind",
+                "runs",
+                "work",
+                "messages",
+                "effort",
+                "rounds",
+                "status",
+                "pins",
+            ],
+            rows,
+            title=f"suite {self.suite!r} (v{self.version}, {self.total_runs} runs)",
+        )
+
+
+__all__ = [
+    "PIN_MEASURES",
+    "SUITE_FORMAT_VERSION",
+    "EntryReport",
+    "Suite",
+    "SuiteEntry",
+    "SuiteReport",
+    "discover_suites",
+    "load_suite",
+]
