@@ -85,6 +85,16 @@ SMOKE_SCENARIOS = [
         "seed": 1,
         "options": {"schedule": "arrivals:0x32,12x32", "cycle_length": 12},
     },
+    {
+        # Smoke-sized stand-in for D_n4096_t1024: large-t agreement
+        # broadcasts exercising the packed Broadcast commit path.
+        "name": "D_broadcast_smoke",
+        "protocol": "D",
+        "n": 256,
+        "t": 64,
+        "adversary": "random:4,max_action_index=15",
+        "seed": 1,
+    },
 ]
 
 FULL_SCENARIOS = [
@@ -149,6 +159,17 @@ FULL_SCENARIOS = [
         "t": 64,
         "seed": 1,
         "options": {"schedule": "arrivals:0x1024,40x512,80x512", "cycle_length": 20},
+    },
+    {
+        # The lazy-broadcast tentpole scenario: Theta(t) = 1024-recipient
+        # agreement broadcasts every phase round (~8M message copies),
+        # committed as shared-payload Broadcast objects end to end.
+        "name": "D_n4096_t1024",
+        "protocol": "D",
+        "n": 4096,
+        "t": 1024,
+        "adversary": "random:8,max_action_index=30",
+        "seed": 1,
     },
 ]
 

@@ -27,13 +27,19 @@ Subcommands:
       python -m repro suite list                                  # shipped suites
       python -m repro suite run scenarios/paper_battery.json --workers 4
       python -m repro suite check scenarios/*.json --out report.json
+      python -m repro suite diff old-report.json new-report.json
 
   ``run`` executes a suite and prints/exports the per-entry worst-case
   report (exit 1 if any run fails to complete); ``check`` additionally
   enforces the regression pins exactly (``--update-pins`` rewrites them
-  from the observed values instead).  ``--workers N`` fans the suite's
-  runs out to a multiprocessing pool; metrics are bit-identical to
-  ``--workers 1``.
+  from the observed values instead).  ``--workers N`` pools each
+  entry's runs on a multiprocessing pool (per-entry ``workers`` hints
+  in the suite file override it; single-scenario entries run
+  in-process); metrics are bit-identical to ``--workers 1``.
+  ``diff`` compares two ``--out`` report artifacts -
+  typically from two commits - printing per-entry metric deltas and
+  exiting 1 on any regression (a metric increased, an entry vanished,
+  or completion flipped; wall-clock ``seconds`` never counts).
 
 Adversaries come from declarative specs (``--adversary KIND:ARGS``, see
 ``docs/api.md``); ``--crashes`` and ``--kill-active`` remain as
@@ -275,6 +281,36 @@ def _cmd_suite_check(args) -> int:
     return _run_suites(args, enforce_pins=True)
 
 
+def _load_report_artifact(path: str):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read report artifact {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"report artifact {path} is not valid JSON: {exc}")
+
+
+def _cmd_suite_diff(args) -> int:
+    from repro.suites import diff_reports
+
+    diff = diff_reports(
+        _load_report_artifact(args.old),
+        _load_report_artifact(args.new),
+        old_label=args.old,
+        new_label=args.new,
+    )
+    if args.json:
+        print(json.dumps(diff.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(diff.table())
+        for note in diff.informational:
+            print(f"note: {note}")
+    for message in diff.regressions():
+        print(f"REGRESSION {message}", file=sys.stderr)
+    return 0 if diff.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Do-All protocols from Dwork-Halpern-Waarts 1992"
@@ -428,6 +464,23 @@ def build_parser() -> argparse.ArgumentParser:
         "directory", nargs="?", default="scenarios", help="suite directory"
     )
     suite_list_p.set_defaults(func=_cmd_suite_list)
+
+    suite_diff_p = suite_sub.add_parser(
+        "diff",
+        help="compare two suite report artifacts (exit 1 on regressions)",
+    )
+    suite_diff_p.add_argument(
+        "old", metavar="OLD", help="baseline report JSON (from --out)"
+    )
+    suite_diff_p.add_argument(
+        "new", metavar="NEW", help="candidate report JSON (from --out)"
+    )
+    suite_diff_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable diff instead of the table",
+    )
+    suite_diff_p.set_defaults(func=_cmd_suite_diff)
     return parser
 
 

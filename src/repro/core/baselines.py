@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
-from repro.sim.actions import Action, Envelope, MessageKind, Send, broadcast
+from repro.sim.actions import Action, Envelope, MessageKind, SendBatch, broadcast
 from repro.sim.process import Process
 
 
@@ -67,7 +67,7 @@ class NaiveCheckpointProcess(Process):
         self._budget = n + checkpoints + slack
         self._last_heard_unit = 0
         self._active = False
-        self._script: Optional[Iterator[Tuple[Optional[int], List[Send]]]] = None
+        self._script: Optional[Iterator[Tuple[Optional[int], SendBatch]]] = None
 
     # ---- scheduling ----------------------------------------------------
 
@@ -105,7 +105,7 @@ class NaiveCheckpointProcess(Process):
             return Action(work=work, sends=sends)
         return Action.idle()
 
-    def _worker_script(self) -> Iterator[Tuple[Optional[int], List[Send]]]:
+    def _worker_script(self) -> Iterator[Tuple[Optional[int], SendBatch]]:
         others = [pid for pid in range(self.t) if pid != self.pid]
         start = self._last_heard_unit + 1
         if self.n == 0 or start > self.n:

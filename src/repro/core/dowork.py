@@ -22,13 +22,16 @@ beginning with group g+1".
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 from repro.core.chunks import SubchunkPlan
 from repro.core.groups import SqrtGroups
-from repro.sim.actions import MessageKind, Send, broadcast
+from repro.sim.actions import MessageKind, SendBatch, broadcast
 
-Step = Tuple[Optional[int], List[Send]]
+#: One active-process round: (work unit or None, send batch).  Batches
+#: are packed Broadcast objects (broadcast() packs them); both engines
+#: keep them un-expanded end to end.
+Step = Tuple[Optional[int], SendBatch]
 
 #: Payload forms (all carry the subchunk index ``c``):
 #:   ("partial", c)      - partial checkpoint to the sender's own group

@@ -14,6 +14,7 @@ retires by round ``nt + 3t^2``.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Iterator, List, Optional
 
 from repro.core.chunks import SubchunkPlan
@@ -101,7 +102,7 @@ class ProtocolAProcess(Process):
         """Fold the inbox into ``last_*``; return whether a terminal
         checkpoint (subchunk ``t``) was seen."""
         done = False
-        for envelope in sorted(inbox, key=lambda env: env.sent_round):
+        for envelope in sorted(inbox, key=attrgetter("sent_round")):
             if envelope.kind not in _ORDINARY_KINDS:
                 continue
             self.last_payload = envelope.payload

@@ -102,8 +102,9 @@ class AsyncProtocolAProcess(AsyncProcess):
             return
         if work is not None:
             ctx.perform(work)
-        for send in sends:
-            ctx.send(send.dst, send.payload, send.kind)
+        # DoWork steps carry packed Broadcast batches; send_batch keeps
+        # them un-expanded (one heap event per distinct due instant).
+        ctx.send_batch(sends)
         ctx.wake_in(self.step_delay, "step")
 
 

@@ -18,6 +18,7 @@ retires by round ``3n + 8t``.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Iterator, List, Optional
 
 from repro.core.chunks import SubchunkPlan
@@ -125,7 +126,7 @@ class ProtocolBProcess(Process):
         got_ordinary = False
         got_go_ahead = False
         done_seen = False
-        for envelope in sorted(inbox, key=lambda env: env.sent_round):
+        for envelope in sorted(inbox, key=attrgetter("sent_round")):
             if envelope.kind in _ORDINARY_KINDS:
                 got_ordinary = True
                 self.last_payload = envelope.payload

@@ -25,13 +25,14 @@ Theorem 3.8: at most ``n + 2t`` units of real work, at most
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.core.deadlines import ProtocolCDeadlines
 from repro.core.levels import GroupKey, LevelStructure, cyclic_successor
 from repro.core.views import View
 from repro.errors import ConfigurationError
-from repro.sim.actions import Action, Envelope, MessageKind, Send
+from repro.sim.actions import Action, Envelope, MessageKind, Send, as_send_list
 from repro.sim.process import Process
 
 #: Script step kinds yielded by the active-process generator.  The
@@ -111,19 +112,23 @@ class ProtocolCProcess(Process):
         if self._active:
             if round_number >= self._resume_round:
                 action = self._step_script(round_number)
-                action.sends = reply_sends + action.sends
+                if reply_sends:
+                    # Poll replies ride along with the script's own sends;
+                    # the mixed batch needs the legacy per-copy spelling.
+                    action.sends = reply_sends + as_send_list(action.sends)
                 return action
             return Action(sends=reply_sends)
         if round_number >= self._deadline:
             self._activate()
             action = self._step_script(round_number)
-            action.sends = reply_sends + action.sends
+            if reply_sends:
+                action.sends = reply_sends + as_send_list(action.sends)
             return action
         return Action(sends=reply_sends)
 
     def _absorb(self, inbox: List[Envelope], round_number: int) -> List[Send]:
         replies: List[Send] = []
-        for envelope in sorted(inbox, key=lambda env: env.sent_round):
+        for envelope in sorted(inbox, key=attrgetter("sent_round")):
             if envelope.kind is MessageKind.POLL:
                 replies.append(
                     Send(envelope.src, ("alive", self.pid), MessageKind.POLL_REPLY)

@@ -27,11 +27,12 @@ round ``(f+1) n/t + 4f + 2``.  Failure-free: exactly ``n`` work,
 from __future__ import annotations
 
 import math
+from operator import attrgetter
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.protocol_a import ProtocolAProcess
 from repro.errors import ConfigurationError
-from repro.sim.actions import Action, Envelope, MessageKind, Send, broadcast
+from repro.sim.actions import Action, Broadcast, Envelope, MessageKind, Send
 from repro.sim.bitset import FrozenIntBitset, IntBitset
 from repro.sim.process import Process
 
@@ -99,17 +100,20 @@ class ProtocolDProcess(Process):
         self.state = _WORK
         self.phase_index += 1
         self._T_prev = self.T.copy()
-        members = list(self.T)   # bitset iteration is ascending
-        units = list(self.S)
-        per_process = math.ceil(len(units) / len(members)) if members else 0
-        try:
-            rank = members.index(self.pid)
-        except ValueError:  # not thought correct: cannot happen for a live
-            rank = None     # process in the crash model, but stay safe
-        if rank is None or per_process == 0:
+        team = len(self.T)       # popcount, O(1)
+        pool = len(self.S)
+        per_process = math.ceil(pool / team) if team else 0
+        # Rank and share come straight off the bitsets: count_below is a
+        # masked popcount and select() slices exactly this process's
+        # ceil(|S|/|T|) units - no O(n) member list per process (the old
+        # list(S) cost Theta(n t) across the team every phase).
+        if per_process == 0 or self.pid not in self.T:
+            # Not thought correct: cannot happen for a live process in
+            # the crash model, but stay safe.
             self._share = []
         else:
-            self._share = units[rank * per_process : (rank + 1) * per_process]
+            rank = self.T.count_below(self.pid)
+            self._share = self.S.select(rank * per_process, per_process)
         self._work_start = start_round
         self._work_done_count = 0
         self._agree_entry = start_round + per_process
@@ -172,47 +176,65 @@ class ProtocolDProcess(Process):
         self._u_snapshot = self._U.copy()
         return Action(sends=self._agree_broadcast(done=False))
 
-    def _agree_broadcast(self, done: bool) -> List[Send]:
+    def _agree_broadcast(self, done: bool) -> Broadcast:
         payload: AgreePayload = (
             self.phase_index,
             self.S.freeze(),
             self.T.freeze(),
             done,
         )
-        recipients = [pid for pid in self._U if pid != self.pid]
-        return broadcast(recipients, payload, MessageKind.AGREEMENT)
+        # One packed broadcast: Theta(t) recipients share one payload
+        # object; the engine never materialises per-copy Send tuples.
+        recipients = self._U.copy()
+        recipients.discard(self.pid)
+        return Broadcast(recipients, payload, MessageKind.AGREEMENT)
 
     def _agree_round(self, round_number: int) -> Action:
         received: Dict[int, AgreePayload] = {}
-        for envelope in sorted(self._buffer, key=lambda env: env.sent_round):
+        saw_done = False
+        phase = self.phase_index
+        for envelope in sorted(self._buffer, key=attrgetter("sent_round")):
             payload = envelope.payload
-            if payload[0] != self.phase_index:
+            if payload[0] != phase:
                 continue
-            previous = received.get(envelope.src)
+            src = envelope.src
+            previous = received.get(src)
             if previous is None or payload[3] or not previous[3]:
-                received[envelope.src] = payload
+                received[src] = payload
+                saw_done = saw_done or payload[3]
         self._buffer.clear()
 
         # Lines 8-10: fold in ongoing views (word-parallel bitwise ops).
-        for pid in self._u_snapshot:
-            if pid == self.pid:
-                continue
-            payload = received.get(pid)
-            if payload is not None and not payload[3]:
-                self.S &= payload[1]
-                self.T |= payload[2]
+        # Iterating the received dict instead of the u-snapshot is
+        # equivalent - the guard admits exactly the same (pid, payload)
+        # pairs, and & / | folds commute - but skips the Theta(t) bitset
+        # walk per round.  The fold itself runs on raw backing ints:
+        # Theta(t) snapshots are intersected per round, so even the
+        # per-operand method dispatch of the bitset classes shows up.
+        snapshot_bits = self._u_snapshot.to_int() & ~(1 << self.pid)
+        s_bits = self.S.to_int()
+        t_bits = self.T.to_int()
+        for pid, payload in received.items():
+            if not payload[3] and (snapshot_bits >> pid) & 1:
+                s_bits &= payload[1]._bits
+                t_bits |= payload[2]._bits
+        self.S = IntBitset(s_bits)
+        self.T = IntBitset(t_bits)
         # Lines 11-14: adopt a decided view outright.
-        for pid in sorted(received):
-            payload = received[pid]
-            if payload[3]:
-                self.S = payload[1].thaw()
-                self.T = payload[2].thaw()
-                self._agree_done = True
-        # Lines 15-16: silent processes are faulty (after the grace round).
+        if saw_done:
+            for pid in sorted(received):
+                payload = received[pid]
+                if payload[3]:
+                    self.S = payload[1].thaw()
+                    self.T = payload[2].thaw()
+                    self._agree_done = True
+        # Lines 15-16: silent processes are faulty (after the grace
+        # round).  Silent = snapshot minus the heard-from set minus self,
+        # removed in one masked update rather than a per-pid loop.
         if self._round_var >= 1:
-            for pid in self._u_snapshot:
-                if pid != self.pid and pid not in received:
-                    self._U.discard(pid)
+            heard = IntBitset.from_iterable(received)
+            heard.add(self.pid)
+            self._U -= self._u_snapshot - heard
         # Lines 17-18: decide when the live set is stable.
         if (
             not self._agree_done
@@ -228,7 +250,7 @@ class ProtocolDProcess(Process):
         self._u_snapshot = self._U.copy()
         return Action(sends=self._agree_broadcast(done=False))
 
-    def _finish_phase(self, round_number: int, sends: List[Send]) -> Action:
+    def _finish_phase(self, round_number: int, sends: Broadcast) -> Action:
         threshold = self.revert_threshold * len(self._T_prev)
         if self.S and len(self.T) < threshold:
             self._enter_revert(round_number + 1)
@@ -273,10 +295,16 @@ class ProtocolDProcess(Process):
         work = (
             self._revert_units[action.work - 1] if action.work is not None else None
         )
-        sends = [
-            Send(self._revert_members[send.dst], send.payload, send.kind)
-            for send in action.sends
-        ]
+        sends = action.sends
+        if isinstance(sends, Broadcast):
+            # Rank-to-pid translation is monotonic (members ascend), so
+            # the remapped broadcast stays packed.
+            sends = sends.remap(self._revert_members)
+        else:
+            sends = [
+                Send(self._revert_members[send.dst], send.payload, send.kind)
+                for send in sends
+            ]
         return Action(work=work, sends=sends, halt=action.halt)
 
 

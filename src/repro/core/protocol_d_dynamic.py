@@ -30,10 +30,11 @@ simulation parameter - a real deployment would run forever).
 from __future__ import annotations
 
 import math
+from operator import attrgetter
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
-from repro.sim.actions import Action, Envelope, MessageKind, Send, broadcast
+from repro.sim.actions import Action, Broadcast, Envelope, MessageKind
 from repro.sim.bitset import IntBitset
 from repro.sim.process import Process
 
@@ -161,9 +162,10 @@ class DynamicProtocolDProcess(Process):
             done_flag,
         )
 
-    def _agree_broadcast(self, done_flag: bool) -> List[Send]:
-        recipients = [pid for pid in self._U if pid != self.pid]
-        return broadcast(recipients, self._payload(done_flag), MessageKind.AGREEMENT)
+    def _agree_broadcast(self, done_flag: bool) -> Broadcast:
+        recipients = self._U.copy()
+        recipients.discard(self.pid)
+        return Broadcast(recipients, self._payload(done_flag), MessageKind.AGREEMENT)
 
     def _agree_round(self, round_number: int, inbox: List[Envelope]) -> Action:
         if self._broadcast_pending:
@@ -175,7 +177,7 @@ class DynamicProtocolDProcess(Process):
             self._u_snapshot = self._U.copy()
             return Action(sends=self._agree_broadcast(False))
         received: Dict[int, tuple] = {}
-        for envelope in sorted(inbox, key=lambda env: env.sent_round):
+        for envelope in sorted(inbox, key=attrgetter("sent_round")):
             if envelope.kind is not MessageKind.AGREEMENT:
                 continue
             payload = envelope.payload
@@ -184,15 +186,19 @@ class DynamicProtocolDProcess(Process):
             previous = received.get(envelope.src)
             if previous is None or payload[4] or not previous[4]:
                 received[envelope.src] = payload
-        for pid in self._u_snapshot:
-            if pid == self.pid:
+        # Same fold shape as Protocol D's agreement round: iterate the
+        # received dict (the union/intersection folds commute), adopt a
+        # decided view only when one arrived, and remove silent senders
+        # with one masked update.
+        snapshot = self._u_snapshot
+        adopted = None
+        for pid, payload in received.items():
+            if payload[4]:
                 continue
-            payload = received.get(pid)
-            if payload is not None and not payload[4]:
+            if pid != self.pid and pid in snapshot:
                 self.known |= payload[1]
                 self.done |= payload[2]
                 self.live |= payload[3]
-        adopted = None
         for pid in sorted(received):
             payload = received[pid]
             if payload[4]:
@@ -203,9 +209,9 @@ class DynamicProtocolDProcess(Process):
             self.live = adopted[3].thaw()
             self._agree_done = True
         if self._round_var >= 1:
-            for pid in self._u_snapshot:
-                if pid != self.pid and pid not in received:
-                    self._U.discard(pid)
+            heard = IntBitset.from_iterable(received)
+            heard.add(self.pid)
+            self._U -= snapshot - heard
         if (
             not self._agree_done
             and self._round_var >= 1
@@ -219,8 +225,8 @@ class DynamicProtocolDProcess(Process):
         self._u_snapshot = self._U.copy()
         return Action(sends=self._agree_broadcast(False))
 
-    def _finish_agreement(self, round_number: int, sends: List[Send]) -> Action:
-        outstanding = list(self.known - self.done)   # ascending iteration
+    def _finish_agreement(self, round_number: int, sends: Broadcast) -> Action:
+        outstanding = self.known - self.done
         no_more_arrivals = round_number >= self.schedule.horizon
         if (
             not outstanding
@@ -229,16 +235,15 @@ class DynamicProtocolDProcess(Process):
             and not self._arrived_buffer
         ):
             return Action(sends=sends, halt=True)
-        members = list(self.live)   # ascending iteration
-        per_process = math.ceil(len(outstanding) / len(members)) if members else 0
-        try:
-            rank = members.index(self.pid)
-        except ValueError:
-            rank = None
-        if rank is None or per_process == 0:
+        # Rank-sliced share straight off the bitsets, as in Protocol D's
+        # _setup_work_phase: no O(n) member list per process per cycle.
+        team = len(self.live)
+        per_process = math.ceil(len(outstanding) / team) if team else 0
+        if per_process == 0 or self.pid not in self.live:
             self._share = []
         else:
-            self._share = outstanding[rank * per_process : (rank + 1) * per_process]
+            rank = self.live.count_below(self.pid)
+            self._share = outstanding.select(rank * per_process, per_process)
         self._share_index = 0
         self.state = _WORK
         return Action(sends=sends)

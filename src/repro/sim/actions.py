@@ -2,18 +2,36 @@
 
 The paper's model lets a process, in one time unit, perform one unit of
 work and one round of communication.  A round action therefore carries at
-most one work unit plus a batch of sends (the batch models one broadcast;
+most one work unit plus one *send batch* (the batch models one broadcast;
 a process that crashes mid-round delivers an adversary-chosen subset of
 the batch, which is exactly the paper's "if process 0 crashes in the
 middle of a broadcast, we assume only that some subset of the processes
 receive the message").
+
+Send batches come in two spellings:
+
+* :class:`Broadcast` - the packed form: one shared payload/kind plus a
+  bitset of recipients.  This is what every protocol in the repository
+  emits and what both engines keep *un-expanded* end to end (one metrics
+  record per batch, one shared envelope per broadcast, partial delivery
+  as a recipients-subset).  Protocol D's agreement phases send Theta(t)
+  identical copies per process per round, so not materialising the
+  copies is the hottest-path win of the whole simulator.
+* ``List[Send]`` - the legacy per-copy form, kept as the compatibility
+  path for out-of-tree protocols and for batches that genuinely mix
+  payloads or kinds (Protocol C's poll replies).  The engine auto-packs
+  a uniform, ascending legacy list back into a :class:`Broadcast` at
+  commit time, so both spellings take the shared-envelope fast path and
+  render identically in metrics, traces and :func:`summarize_sends`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Iterable, List, NamedTuple, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+from repro.sim.bitset import FrozenIntBitset, IntBitset, _BitsetBase
 
 
 class MessageKind(str, Enum):
@@ -38,10 +56,9 @@ class MessageKind(str, Enum):
 class Send(NamedTuple):
     """An outgoing message requested by a process in the current round.
 
-    A ``NamedTuple`` rather than a frozen dataclass: one is allocated per
-    point-to-point copy of every broadcast, so construction cost is on
-    the simulator's hottest path (Protocol D's agreement phases build
-    ``Theta(t^2)`` of these per round).
+    The per-copy spelling: one is allocated per point-to-point copy of a
+    legacy (list-form) batch, and lazily when a :class:`Broadcast` is
+    iterated for compatibility (adversary inspection, tests).
     """
 
     dst: int
@@ -53,8 +70,9 @@ class Envelope(NamedTuple):
     """A message in flight (or delivered).
 
     ``sent_round`` is the stamp round: the envelope is visible to the
-    recipient's decisions strictly after ``sent_round``.  A ``NamedTuple``
-    for the same hot-path reason as :class:`Send`.
+    recipient's decisions strictly after ``sent_round``.  Broadcast
+    deliveries use the structurally identical :class:`EnvelopeView`
+    (same five attributes, payload storage shared per broadcast).
     """
 
     src: int
@@ -64,19 +82,261 @@ class Envelope(NamedTuple):
     sent_round: int
 
 
+class SharedEnvelope:
+    """The per-broadcast shared half of a delivered broadcast message.
+
+    One instance exists per committed :class:`Broadcast`; every live
+    recipient's mailbox holds an :class:`EnvelopeView` onto it instead
+    of a fresh five-field tuple.
+    """
+
+    __slots__ = ("src", "payload", "kind", "sent_round")
+
+    def __init__(self, src: int, payload: Any, kind: MessageKind, sent_round: int):
+        self.src = src
+        self.payload = payload
+        self.kind = kind
+        self.sent_round = sent_round
+
+
+class EnvelopeView:
+    """A recipient's view onto a :class:`SharedEnvelope`.
+
+    Compatible with :class:`Envelope` beyond duck typing: the same five
+    read-only attributes (``src``, ``dst``, ``payload``, ``kind``,
+    ``sent_round``), plus the tuple protocol a ``NamedTuple`` envelope
+    supports - field-order iteration/unpacking, indexing, ``len``,
+    equality (including against :class:`Envelope` instances and plain
+    tuples), ordering and hashing all behave as if the view *were* the
+    corresponding five-tuple.  ``src``/``kind`` read through the shared
+    record; ``sent_round`` and ``payload`` are mirrored into slots
+    (references, not copies) because they are what every mailbox drain,
+    inbox sort and protocol fold touches repeatedly.
+    """
+
+    __slots__ = ("_shared", "dst", "payload", "sent_round")
+
+    def __init__(self, shared: SharedEnvelope, dst: int):
+        self._shared = shared
+        self.dst = dst
+        self.payload = shared.payload
+        self.sent_round = shared.sent_round
+
+    @property
+    def src(self) -> int:
+        return self._shared.src
+
+    @property
+    def kind(self) -> MessageKind:
+        return self._shared.kind
+
+    # ---- tuple protocol (Envelope compatibility) ---------------------
+
+    def _as_tuple(self) -> tuple:
+        shared = self._shared
+        return (shared.src, self.dst, self.payload, shared.kind, self.sent_round)
+
+    def __iter__(self):
+        return iter(self._as_tuple())
+
+    def __len__(self) -> int:
+        return 5
+
+    def __getitem__(self, index):
+        return self._as_tuple()[index]
+
+    def __hash__(self) -> int:
+        return hash(self._as_tuple())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EnvelopeView):
+            return self._as_tuple() == other._as_tuple()
+        if isinstance(other, tuple):
+            return self._as_tuple() == other
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __lt__(self, other):
+        return self._as_tuple() < (
+            other._as_tuple() if isinstance(other, EnvelopeView) else other
+        )
+
+    def __le__(self, other):
+        return self._as_tuple() <= (
+            other._as_tuple() if isinstance(other, EnvelopeView) else other
+        )
+
+    def __gt__(self, other):
+        return self._as_tuple() > (
+            other._as_tuple() if isinstance(other, EnvelopeView) else other
+        )
+
+    def __ge__(self, other):
+        return self._as_tuple() >= (
+            other._as_tuple() if isinstance(other, EnvelopeView) else other
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shared = self._shared
+        return (
+            f"EnvelopeView(src={shared.src}, dst={self.dst}, "
+            f"payload={shared.payload!r}, kind={shared.kind!r}, "
+            f"sent_round={shared.sent_round})"
+        )
+
+
+class Broadcast:
+    """One shared-payload broadcast: ``payload``/``kind`` once, recipients
+    as a packed bitset.
+
+    The wire-format contract (see ``docs/protocols.md``): a broadcast is
+    fully described by ``(recipients, payload, kind)``; its observable
+    behaviour - metrics, traces, mailbox contents - is *defined* as that
+    of the expanded ``[Send(d, payload, kind) for d in recipients]``
+    list with recipients in ascending pid order.  Partial delivery
+    (crash mid-broadcast) is recipients-subset selection via
+    :meth:`restrict`, never per-copy re-allocation.
+
+    Sequence-compatible for inspection: ``len``, truthiness, ascending
+    iteration yielding :class:`Send` copies, and indexing.  Hot paths
+    should use :attr:`recipients` / :meth:`dsts` instead of iterating
+    ``Send`` objects into existence.
+    """
+
+    __slots__ = ("recipients", "payload", "kind")
+
+    def __init__(
+        self,
+        recipients: Union[_BitsetBase, Iterable[int]],
+        payload: Any,
+        kind: MessageKind,
+    ):
+        if isinstance(recipients, _BitsetBase):
+            recipients = FrozenIntBitset(recipients.to_int())
+        else:
+            recipients = FrozenIntBitset.from_iterable(recipients)
+        self.recipients: FrozenIntBitset = recipients
+        self.payload = payload
+        self.kind = kind
+
+    # ---- sequence compatibility (the expanded-list contract) ---------
+
+    def __len__(self) -> int:
+        return len(self.recipients)
+
+    def __bool__(self) -> bool:
+        return bool(self.recipients)
+
+    def __iter__(self) -> Iterator[Send]:
+        payload, kind = self.payload, self.kind
+        for dst in self.recipients:
+            yield Send(dst, payload, kind)
+
+    def __getitem__(self, index):
+        selected = self.dsts()[index]
+        if isinstance(index, slice):
+            return [Send(dst, self.payload, self.kind) for dst in selected]
+        return Send(selected, self.payload, self.kind)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Broadcast):
+            return (
+                self.recipients == other.recipients
+                and self.payload == other.payload
+                and self.kind == other.kind
+            )
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Broadcast({set(self.recipients) or '{}'}, "
+            f"{self.payload!r}, {self.kind!r})"
+        )
+
+    # ---- subset / remap (crash semantics, protocol embedding) --------
+
+    def dsts(self) -> Tuple[int, ...]:
+        """Recipient pids, ascending (the expanded batch's dst order)."""
+        return tuple(self.recipients)
+
+    def restrict(self, keep: Union[_BitsetBase, Iterable[int]]) -> "Broadcast":
+        """The sub-broadcast delivered to ``recipients & keep``."""
+        if not isinstance(keep, _BitsetBase):
+            keep = FrozenIntBitset.from_iterable(keep)
+        return Broadcast(self.recipients & keep, self.payload, self.kind)
+
+    def remap(self, pid_of: Sequence[int]) -> "Broadcast":
+        """Translate every recipient ``d`` to ``pid_of[d]`` (used when a
+        protocol embeds another over a rank-compressed pid space)."""
+        return Broadcast(
+            IntBitset.from_iterable(pid_of[dst] for dst in self.recipients),
+            self.payload,
+            self.kind,
+        )
+
+
+#: What :attr:`Action.sends` holds: the packed or the legacy spelling.
+SendBatch = Union[Broadcast, List[Send]]
+
+
+def pack_sends(sends: SendBatch) -> Optional[Broadcast]:
+    """Pack a legacy list into a :class:`Broadcast` when that is exactly
+    equivalent: uniform payload identity and kind, strictly ascending
+    destinations (so trace order is preserved).  Returns ``None`` when
+    the batch genuinely needs the per-copy path; a :class:`Broadcast`
+    passes through unchanged."""
+    if isinstance(sends, Broadcast):
+        return sends
+    if not sends:
+        return None
+    first = sends[0]
+    payload, kind = first.payload, first.kind
+    mask = 0
+    last = -1
+    for send in sends:
+        dst = send.dst
+        if dst <= last or send.payload is not payload or send.kind is not kind:
+            return None
+        last = dst
+        mask |= 1 << dst
+    return Broadcast(FrozenIntBitset(mask), payload, kind)
+
+
+def as_send_list(sends: SendBatch) -> List[Send]:
+    """The legacy per-copy spelling of either batch form (expanding a
+    :class:`Broadcast` into ascending ``Send`` copies)."""
+    if isinstance(sends, Broadcast):
+        return list(sends)
+    return sends
+
+
+def iter_dsts(sends: SendBatch) -> Iterator[int]:
+    """Destinations of a batch in committed order, without materialising
+    ``Send`` copies for the packed spelling."""
+    if isinstance(sends, Broadcast):
+        return iter(sends.recipients)
+    return (send.dst for send in sends)
+
+
 @dataclass
 class Action:
     """Everything a process does in one round.
 
     Attributes:
         work: work unit performed this round (1-based), or ``None``.
-        sends: messages sent this round; modelled as one broadcast batch.
+        sends: this round's send batch - a packed :class:`Broadcast` or
+            a legacy ``List[Send]`` (one broadcast either way).
         halt: if true the process terminates (retires) at the end of the
             round, after its work and sends take effect.
     """
 
     work: Optional[int] = None
-    sends: List[Send] = field(default_factory=list)
+    sends: SendBatch = field(default_factory=list)
     halt: bool = False
 
     @classmethod
@@ -85,8 +345,10 @@ class Action:
         return cls()
 
     @classmethod
-    def halting(cls, sends: Optional[Iterable[Send]] = None) -> "Action":
-        """Terminate, optionally after a final batch of sends."""
+    def halting(cls, sends: Optional[Union[Broadcast, Iterable[Send]]] = None) -> "Action":
+        """Terminate, optionally after a final send batch."""
+        if isinstance(sends, Broadcast):
+            return cls(sends=sends, halt=True)
         return cls(sends=list(sends or ()), halt=True)
 
     def is_idle(self) -> bool:
@@ -94,12 +356,19 @@ class Action:
 
 
 def broadcast(
-    dsts: Iterable[int], payload: Any, kind: MessageKind
-) -> List[Send]:
-    """Build one broadcast batch: the same payload to every destination."""
-    return [Send(dst, payload, kind) for dst in dsts]
+    dsts: Union[_BitsetBase, Iterable[int]], payload: Any, kind: MessageKind
+) -> Broadcast:
+    """Build one packed broadcast batch: the same payload to every
+    destination.  (Pre-broadcast-object code received an expanded
+    ``List[Send]`` here; :class:`Broadcast` is sequence-compatible, and
+    the engines treat the two spellings identically.)"""
+    return Broadcast(dsts, payload, kind)
 
 
-def summarize_sends(sends: Iterable[Send]) -> Tuple[int, ...]:
-    """Destinations of a send batch, for traces and tests."""
-    return tuple(send.dst for send in sends)
+def summarize_sends(sends: SendBatch) -> Tuple[int, ...]:
+    """Destinations of a send batch, for traces and tests.
+
+    Renders identically for the packed and the legacy spelling of the
+    same broadcast (ascending destinations either way).
+    """
+    return tuple(iter_dsts(sends))

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
-from repro.sim.actions import Action
+from repro.sim.actions import Action, iter_dsts
 from repro.sim.crashes import CrashDirective, CrashPhase
 from repro.sim.engine import Adversary, Engine
 from repro.sim.specs import bind_positionals, split_spec_string
@@ -327,9 +327,13 @@ class CrashMidBroadcast(Adversary):
                 if engine.crashed_count >= engine.t - 1:
                     continue
                 self.victims.discard(pid)
+                # iter_dsts walks packed and legacy batches in the same
+                # (committed) order, so RNG draws per destination match
+                # across the two spellings - without expanding a packed
+                # Broadcast into per-copy Send objects.
                 keep = frozenset(
-                    send.dst
-                    for send in action.sends
+                    dst
+                    for dst in iter_dsts(action.sends)
                     if self.rng.random() < 0.5
                 )
                 directives.append(

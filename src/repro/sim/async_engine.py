@@ -24,6 +24,23 @@ to the heap whenever another queued event (a crash, a wake, another
 recipient's batch) sorts before the next copy at the same instant
 (``tests/test_async_equivalence.py`` diffs this against a per-copy
 reference engine).
+
+Lazy broadcast fan-out
+----------------------
+
+A packed :class:`~repro.sim.actions.Broadcast` submitted through
+:meth:`AsyncContext.broadcast` (or :meth:`AsyncContext.send_batch`)
+extends that batching across recipients: the engine draws each copy's
+delay in ascending-recipient order (the same RNG stream as per-copy
+sends), groups the copies by due instant, and schedules **one**
+``deliver_bcast`` heap event per distinct due time - O(distinct
+due_times) events instead of O(copies), with the payload and kind
+stored once per broadcast.  Metrics are recorded with one
+:meth:`Metrics.record_send_batch` call per broadcast.  Per-copy
+sequence numbers and the same yield-to-heap-head rule keep global
+dispatch order exactly the per-copy engine's
+(``tests/test_broadcast_equivalence.py`` pins this against an engine
+that expands every broadcast).
 """
 
 from __future__ import annotations
@@ -36,7 +53,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import BudgetExceeded, ConfigurationError, SimulationStalled
-from repro.sim.actions import MessageKind
+from repro.sim.actions import Broadcast, MessageKind, SendBatch
 from repro.sim.failure_detector import FailureDetector
 from repro.sim.metrics import Metrics, RunResult
 from repro.sim.rng import derive_rng, make_rng
@@ -178,6 +195,20 @@ class AsyncContext:
     def send(self, dst: int, payload: Any, kind: MessageKind) -> None:
         self._engine._send(self._pid, dst, payload, kind)
 
+    def broadcast(self, bcast: Broadcast) -> None:
+        """Submit one packed broadcast (kept un-expanded by the engine)."""
+        self._engine._broadcast(self._pid, bcast)
+
+    def send_batch(self, batch: SendBatch) -> None:
+        """Submit a send batch in either spelling: a packed
+        :class:`Broadcast` stays packed, a legacy ``List[Send]`` goes
+        through the per-copy path."""
+        if isinstance(batch, Broadcast):
+            self._engine._broadcast(self._pid, batch)
+        else:
+            for send in batch:
+                self._engine._send(self._pid, send.dst, send.payload, send.kind)
+
     def perform(self, unit: int) -> None:
         self._engine._perform(self._pid, unit)
 
@@ -275,6 +306,43 @@ class AsyncEngine:
         else:
             batch.append((seq, src, payload, kind))
 
+    def _broadcast(self, src: int, bcast: Broadcast) -> None:
+        """Schedule one packed broadcast: per-copy delay draws (ascending
+        recipients, same RNG stream as :meth:`_send`), then one
+        ``deliver_bcast`` heap event per *distinct due instant* instead
+        of one event per copy.  Each copy keeps its own sequence number,
+        so dispatch interleaves with every other queued event exactly as
+        the expanded per-copy schedule would."""
+        count = len(bcast)
+        if count == 0:
+            return
+        self.metrics.record_send_batch(src, {bcast.kind: count}, count, int(self.now))
+        delay_model = self.delay_model
+        delay_rng = self.delay_rng
+        now = self.now
+        take_seq = self._seq
+        by_due: Dict[float, List[Tuple[int, int]]] = {}
+        bits = bcast.recipients.to_int()
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            dst = low.bit_length() - 1
+            due = now + max(0.0, delay_model(delay_rng, src, dst))
+            seq = next(take_seq)
+            copies = by_due.get(due)
+            if copies is None:
+                by_due[due] = [(seq, dst)]
+            else:
+                copies.append((seq, dst))
+        payload, kind = bcast.payload, bcast.kind
+        for due, copies in by_due.items():
+            first_seq, first_dst = copies[0]
+            record = (src, payload, kind, copies)
+            heapq.heappush(
+                self._heap,
+                _Event(due, first_seq, "deliver_bcast", first_dst, (record, 0)),
+            )
+
     def _perform(self, pid: int, unit: int) -> None:
         if self.tracker is not None:
             self.tracker.record(pid, unit, int(self.now))
@@ -323,6 +391,8 @@ class AsyncEngine:
             return 1
         if event.kind == "deliver_batch":
             return self._deliver_batch(event)
+        if event.kind == "deliver_bcast":
+            return self._deliver_bcast(event)
         if process.retired:
             return 1
         ctx = AsyncContext(self, process.pid)
@@ -372,6 +442,36 @@ class AsyncEngine:
             if not process.retired:
                 process.on_message(ctx, src, payload, kind)
         del self._batches[key]
+        return max(delivered, 1)
+
+    def _deliver_bcast(self, event: _Event) -> int:
+        """Deliver the copies of one broadcast that share a due instant.
+
+        The same contract as :meth:`_deliver_batch`, with the recipient
+        varying per copy: copies are handed over in sequence order, and
+        the undelivered suffix is re-pushed under the next copy's
+        sequence number whenever any other queued event sorts first.
+        """
+        time = event.time
+        record, index = event.payload
+        src, payload, kind, copies = record
+        heap = self._heap
+        processes = self.processes
+        delivered = 0
+        while index < len(copies):
+            seq, dst = copies[index]
+            if heap:
+                head = heap[0]
+                if head.time < time or (head.time == time and head.seq < seq):
+                    heapq.heappush(
+                        heap, _Event(time, seq, "deliver_bcast", dst, (record, index))
+                    )
+                    return max(delivered, 1)
+            index += 1
+            delivered += 1
+            process = processes[dst]
+            if not process.retired:
+                process.on_message(AsyncContext(self, dst), src, payload, kind)
         return max(delivered, 1)
 
     # ---- results ---------------------------------------------------------------------

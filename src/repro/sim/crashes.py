@@ -23,9 +23,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from enum import Enum
-from typing import FrozenSet, List, Optional
+from typing import FrozenSet, Optional
 
-from repro.sim.actions import Action, Send
+from repro.sim.actions import Action, Broadcast, SendBatch
 from repro.sim.rng import choose_subset
 
 
@@ -68,7 +68,20 @@ class CrashDirective:
         # the halt moot - the process retires either way).
         return action
 
-    def _surviving_sends(self, sends: List[Send], rng: random.Random) -> List[Send]:
+    def _surviving_sends(self, sends: SendBatch, rng: random.Random) -> SendBatch:
+        if isinstance(sends, Broadcast):
+            # Partial delivery of a packed broadcast is *subset selection*
+            # on the recipients bitset - the shared payload is never
+            # re-allocated per copy.  RNG draws match the legacy path
+            # exactly: one randrange over the batch size, one sample of
+            # positions (recipients ascend, like the expanded list).
+            if self.keep is not None:
+                return sends.restrict(self.keep)
+            if not sends:
+                return sends
+            dsts = sends.dsts()
+            size = rng.randrange(len(dsts) + 1)
+            return sends.restrict(choose_subset(rng, dsts, size))
         if self.keep is not None:
             return [send for send in sends if send.dst in self.keep]
         if not sends:

@@ -44,10 +44,15 @@ an event index, mirroring the heap-based design of
   are maintained at retirement/activation events, so the main loop,
   strict-invariant check and crash guard never iterate over retired
   processes.
-* **Batched broadcast path.**  A round's send batch is committed through
-  :meth:`Metrics.record_send_batch` with per-send cost reduced to a few
-  counter bumps plus one :class:`Envelope` per *live* recipient; trace
-  emission is skipped entirely when tracing is disabled.
+* **Lazy broadcast fan-out.**  A packed :class:`Broadcast` batch is
+  committed without ever materialising per-copy ``Send`` tuples: one
+  :meth:`Metrics.record_send_batch` call, one shared
+  :class:`SharedEnvelope` per broadcast, and one lightweight
+  :class:`EnvelopeView` per *live* recipient in the mailboxes.  Legacy
+  ``List[Send]`` batches are auto-packed when exactly equivalent
+  (uniform payload/kind, ascending dsts) so out-of-tree protocols take
+  the same path; genuinely mixed batches keep the per-copy commit.
+  Trace emission is skipped entirely when tracing is disabled.
 
 Wake rounds are cached, which is sound because ``wake_round()`` is a pure
 function of process state and that state only changes at engine-observed
@@ -69,7 +74,17 @@ from repro.errors import (
     InvariantViolation,
     SimulationStalled,
 )
-from repro.sim.actions import Action, Envelope, MessageKind, Send
+from repro.sim.actions import (
+    Action,
+    Broadcast,
+    Envelope,
+    EnvelopeView,
+    MessageKind,
+    Send,
+    SendBatch,
+    SharedEnvelope,
+    pack_sends,
+)
 from repro.sim.crashes import CrashDirective
 from repro.sim.metrics import Metrics, RunResult
 from repro.sim.process import Process
@@ -111,11 +126,17 @@ class Engine:
         self.trace = trace if trace is not None else Trace(enabled=False)
         self.metrics = Metrics()
         self.round = -1  # last processed round
-        self._mailboxes: Dict[int, List[Envelope]] = {p.pid: [] for p in self.processes}
+        # Mailboxes hold Envelope tuples (point-to-point, legacy batches)
+        # and EnvelopeView objects (broadcast deliveries) interchangeably.
+        self._mailboxes: Dict[int, List] = {p.pid: [] for p in self.processes}
         # Event index: see module docstring.
         self._heap: List[Tuple[int, int]] = []
         self._due: Dict[int, Optional[int]] = {}
         self._live: Set[int] = set()
+        #: Packed mirror of ``_live`` (bit pid set iff not retired): lets
+        #: the broadcast commit restrict its recipient bitset to live
+        #: processes with one ``&`` instead of a per-recipient check.
+        self._live_mask: int = 0
         self._active: Set[int] = set()
         self._crashed_pids: Set[int] = set()
         for process in self.processes:
@@ -184,6 +205,7 @@ class Engine:
         if process.retired:
             self._due[pid] = None
             self._live.discard(pid)
+            self._live_mask &= ~(1 << pid)
             self._active.discard(pid)
             if process.crashed:
                 self._crashed_pids.add(pid)
@@ -198,6 +220,7 @@ class Engine:
             self._mailboxes[pid].clear()
             return
         self._live.add(pid)
+        self._live_mask |= 1 << pid
         mailbox = self._mailboxes[pid]
         due = mailbox[0].sent_round + 1 if mailbox else None
         wake = process.wake_round()
@@ -274,7 +297,7 @@ class Engine:
         if self.strict_invariants:
             self._check_single_active(round_number)
 
-    def _drain_mailbox(self, pid: int, round_number: int) -> List[Envelope]:
+    def _drain_mailbox(self, pid: int, round_number: int) -> List:
         """Split off (and return) all mail stamped before ``round_number``.
 
         Mailboxes are sorted by stamp (posts happen at strictly
@@ -369,13 +392,19 @@ class Engine:
             )
             self._note_mail(dst, round_number)
 
-    def _post_batch(self, src: int, sends: List[Send], round_number: int) -> None:
-        """Post one round's broadcast batch from ``src``.
+    def _post_batch(self, src: int, sends: SendBatch, round_number: int) -> None:
+        """Post one round's send batch from ``src``.
 
-        Per-send cost is a few counter bumps; envelopes are only built
-        for recipients that are alive to store them, and trace tuples are
-        only built when tracing is on.
+        A packed :class:`Broadcast` (or a legacy list that packs into
+        one - see :func:`repro.sim.actions.pack_sends`) takes the
+        shared-envelope fast path; a genuinely mixed legacy batch falls
+        back to the per-copy commit.  Both spellings of one broadcast
+        produce identical metrics, trace events and mailbox payloads.
         """
+        packed = pack_sends(sends)
+        if packed is not None:
+            self._post_broadcast(src, packed, round_number)
+            return
         kind_counts: Dict[MessageKind, int] = {}
         for send in sends:
             kind = send.kind
@@ -403,6 +432,40 @@ class Engine:
                 if cached is None or cached > next_due:
                     due_map[dst] = next_due
                     heappush(heap, (next_due, dst))
+
+    def _post_broadcast(self, src: int, bcast: Broadcast, round_number: int) -> None:
+        """Commit one packed broadcast: shared envelope, per-recipient
+        views, one metrics record for the whole batch."""
+        kind = bcast.kind
+        payload = bcast.payload
+        count = len(bcast)
+        self.metrics.record_send_batch(src, {kind: count}, count, round_number)
+        trace = self.trace
+        if trace.enabled:
+            kind_value = kind.value
+            for dst in bcast.recipients:
+                trace.emit(round_number, "send", src, (kind_value, dst, payload))
+        mailboxes = self._mailboxes
+        due_map = self._due
+        heap = self._heap
+        next_due = round_number + 1
+        shared = SharedEnvelope(src, payload, kind, round_number)
+        # Restricting to live recipients is one mask ``&`` (the live mask
+        # only holds pids < t, so out-of-range dsts drop too); the loop
+        # then uses inlined low-bit extraction - the recipient walk runs
+        # Theta(t) times per broadcast, so skipping both the per-dst
+        # retirement check and the bitset generator's frame switches is
+        # a measurable share of commit time.
+        bits = bcast.recipients.to_int() & self._live_mask
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            dst = low.bit_length() - 1
+            mailboxes[dst].append(EnvelopeView(shared, dst))
+            cached = due_map.get(dst)
+            if cached is None or cached > next_due:
+                due_map[dst] = next_due
+                heappush(heap, (next_due, dst))
 
     # ---- invariants and results -------------------------------------------
 

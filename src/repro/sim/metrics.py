@@ -77,7 +77,11 @@ class Metrics:
         ``kind_counts`` maps each message kind in the batch to its
         multiplicity (summing to ``count``).  Equivalent to ``count``
         calls of :meth:`record_send_fast` but with per-batch instead of
-        per-copy bookkeeping overhead.
+        per-copy bookkeeping overhead.  This is the single accounting
+        call both engines make per packed :class:`Broadcast` (a
+        one-entry ``kind_counts``), and what the legacy mixed-kind list
+        path aggregates into - the paper's measure still charges every
+        point-to-point copy, only the bookkeeping is batched.
         """
         self.messages_total += count
         self.messages_by_process[src] += count

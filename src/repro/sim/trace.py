@@ -9,6 +9,13 @@ building the per-event detail tuple on its per-send and per-work paths,
 so a disabled trace costs one attribute read per batch rather than a
 tuple allocation per message.  :meth:`emit` still guards internally for
 the rare event kinds (crash/halt/activate) that skip the pre-check.
+
+Send events stay *per copy* even for packed ``Broadcast`` batches: an
+enabled trace emits one ``("send", src, (kind, dst, payload))`` event
+per recipient in ascending pid order, which is exactly the expanded
+legacy batch's emission - so traces of a packed run diff cleanly
+against expanded-path oracles and render identically for both batch
+spellings (``tests/test_broadcast_equivalence.py``).
 """
 
 from __future__ import annotations

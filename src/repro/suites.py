@@ -19,9 +19,16 @@ File format (see ``docs/suites.md`` for the full reference)::
         {"name": "a-random", "scenario": {...Scenario dict...},
          "pins": {"work": 140, "messages": 44, "effort": 184}},
         {"name": "a-grid", "sweep": {...Sweep dict...},
+         "workers": 4,
          "pins": {"effort": 553}}
       ]
     }
+
+An entry's optional ``workers`` hint overrides the suite-level pool
+size for that entry (the loader validates it, the executor honors it);
+metrics stay bit-identical at any worker count, so hints only trade
+wall clock.  Every entry report carries a wall-clock ``seconds``
+column - informational, never pinned or diffed for regressions.
 
 Programmatic use::
 
@@ -39,18 +46,23 @@ CLI::
 Pins compare against the entry's **worst-case** reduction (per-measure
 maxima over the entry's runs - one run for a scenario entry, the whole
 grid for a sweep entry), matching the paper's worst-case reading of its
-bounds.  Parallel execution (``workers > 1``) flattens every entry's
-runs into one pool and is bit-identical to serial execution
-(:func:`repro.api.run_scenarios`).
+bounds.  Parallel execution (``workers > 1``) pools *within* each
+entry: every entry runs as its own :func:`repro.api.run_scenarios`
+batch (which is what makes per-entry ``workers`` hints and the
+``seconds`` column well defined), so the suite-level worker count
+speeds up multi-run (sweep) entries while single-scenario entries
+always run in-process.  Metrics are bit-identical to serial execution
+at any worker count.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.api import ResultSet, Scenario, Sweep, run_scenarios
 from repro.errors import ConfigurationError
@@ -63,7 +75,7 @@ SUITE_FORMAT_VERSION = 1
 PIN_MEASURES = ("work", "messages", "effort", "rounds", "redundant_work", "crashes")
 
 _SUITE_FIELDS = {"suite", "version", "description", "entries"}
-_ENTRY_FIELDS = {"name", "scenario", "sweep", "pins"}
+_ENTRY_FIELDS = {"name", "scenario", "sweep", "pins", "workers"}
 
 
 # =====================================================================
@@ -73,12 +85,18 @@ _ENTRY_FIELDS = {"name", "scenario", "sweep", "pins"}
 
 @dataclass(frozen=True)
 class SuiteEntry:
-    """One named workload of a suite: a scenario or a sweep, plus pins."""
+    """One named workload of a suite: a scenario or a sweep, plus pins.
+
+    ``workers`` is an optional per-entry pool-size hint: when set it
+    overrides the suite-level ``workers`` argument for this entry's
+    runs (metrics are bit-identical either way).
+    """
 
     name: str
     scenario: Optional[Scenario] = None
     sweep: Optional[Sweep] = None
     pins: Dict[str, float] = field(default_factory=dict)
+    workers: Optional[int] = None
 
     @property
     def kind(self) -> str:
@@ -132,14 +150,27 @@ class SuiteEntry:
                     f"got {value!r}"
                 )
             pins[measure] = value
+        workers = data.get("workers")
+        if workers is not None:
+            if isinstance(workers, bool) or not isinstance(workers, int) or workers < 1:
+                raise ConfigurationError(
+                    f"'workers' of {where} ({name!r}) must be a positive "
+                    f"integer, got {workers!r}"
+                )
         try:
             if has_scenario:
                 return cls(
                     name=name,
                     scenario=Scenario.from_dict(data["scenario"]),
                     pins=pins,
+                    workers=workers,
                 )
-            return cls(name=name, sweep=Sweep.from_dict(data["sweep"]), pins=pins)
+            return cls(
+                name=name,
+                sweep=Sweep.from_dict(data["sweep"]),
+                pins=pins,
+                workers=workers,
+            )
         except ConfigurationError as exc:
             raise ConfigurationError(f"{where} ({name!r}): {exc}") from exc
 
@@ -149,6 +180,8 @@ class SuiteEntry:
             data["scenario"] = self.scenario.to_dict()
         else:
             data["sweep"] = self.sweep.to_dict()
+        if self.workers is not None:
+            data["workers"] = self.workers
         if self.pins:
             data["pins"] = {k: self.pins[k] for k in sorted(self.pins)}
         return data
@@ -282,21 +315,21 @@ class Suite:
     def run(self, *, workers: Optional[int] = None) -> "SuiteReport":
         """Execute every entry and compare observations against pins.
 
-        All entries' runs are flattened into one list so ``workers``
-        parallelism spans the whole suite, then results are re-grouped
-        per entry; metrics are bit-identical to a serial run.
+        Entries execute in order, each through its own
+        :func:`repro.api.run_scenarios` call - which is what makes the
+        per-entry ``workers`` hint (overriding the suite-level value)
+        and the per-entry wall-clock ``seconds`` column well defined.
+        Metrics are bit-identical at any worker count; only wall clock
+        varies.
         """
-        per_entry: List[Tuple[SuiteEntry, List[Scenario]]] = [
-            (entry, entry.scenarios()) for entry in self.entries
-        ]
-        flat = [scenario for _, scenarios in per_entry for scenario in scenarios]
-        results = run_scenarios(flat, workers=workers)
         reports = []
-        index = 0
-        for entry, scenarios in per_entry:
-            chunk = results[index : index + len(scenarios)]
-            index += len(scenarios)
-            reports.append(_report_entry(entry, scenarios, chunk))
+        for entry in self.entries:
+            scenarios = entry.scenarios()
+            entry_workers = entry.workers if entry.workers is not None else workers
+            start = time.perf_counter()
+            results = run_scenarios(scenarios, workers=entry_workers)
+            seconds = time.perf_counter() - start
+            reports.append(_report_entry(entry, scenarios, results, seconds))
         return SuiteReport(
             suite=self.name,
             version=self.version,
@@ -355,7 +388,10 @@ def discover_suites(directory="scenarios") -> List[Path]:
 
 
 def _report_entry(
-    entry: SuiteEntry, scenarios: Sequence[Scenario], results: Sequence[RunResult]
+    entry: SuiteEntry,
+    scenarios: Sequence[Scenario],
+    results: Sequence[RunResult],
+    seconds: float = 0.0,
 ) -> "EntryReport":
     result_set = ResultSet(list(zip(scenarios, results)))
     return EntryReport(
@@ -365,12 +401,18 @@ def _report_entry(
         observed=result_set.worst(),
         pins=dict(entry.pins),
         all_completed=result_set.all_completed,
+        seconds=seconds,
     )
 
 
 @dataclass(frozen=True)
 class EntryReport:
-    """Observed worst-case metrics of one entry, diffed against its pins."""
+    """Observed worst-case metrics of one entry, diffed against its pins.
+
+    ``seconds`` is the entry's wall clock - informational only: it is
+    never pinned, and ``suite diff`` excludes it from regression
+    verdicts (timings are machine noise, metrics are exact).
+    """
 
     name: str
     kind: str
@@ -378,6 +420,7 @@ class EntryReport:
     observed: Dict[str, float]
     pins: Dict[str, float]
     all_completed: bool
+    seconds: float = 0.0
 
     def failures(self) -> List[str]:
         messages = []
@@ -408,6 +451,7 @@ class EntryReport:
             "observed": dict(self.observed),
             "pins": dict(self.pins),
             "all_completed": self.all_completed,
+            "seconds": round(self.seconds, 6),
             "failures": self.failures(),
             "passed": self.passed,
         }
@@ -480,6 +524,7 @@ class SuiteReport:
                     observed["messages"],
                     observed["effort"],
                     float(observed["rounds"]),
+                    f"{entry.seconds:.3f}",
                     "ok" if entry.passed else "FAIL",
                     "-" if not entry.pinned else "exact",
                 ]
@@ -493,6 +538,7 @@ class SuiteReport:
                 "messages",
                 "effort",
                 "rounds",
+                "seconds",
                 "status",
                 "pins",
             ],
@@ -501,13 +547,243 @@ class SuiteReport:
         )
 
 
+# =====================================================================
+# Report diffing (the ``suite diff`` verb)
+# =====================================================================
+#
+# ``suite run --out report.json`` / ``suite check --out`` write a list
+# of :meth:`SuiteReport.as_dict` payloads.  ``suite diff OLD NEW``
+# compares two such artifacts - typically produced at two commits - and
+# reports per-entry metric deltas.  A *regression* is:
+#
+# * a pinnable measure (:data:`PIN_MEASURES`) that increased,
+# * an entry (or whole suite) present in OLD but missing from NEW,
+# * an entry whose runs completed in OLD but not in NEW.
+#
+# Wall-clock ``seconds`` deltas are reported but never count as
+# regressions (timings are machine noise; metrics are exact).
+
+
+@dataclass(frozen=True)
+class MeasureDelta:
+    """One measure of one entry, compared across two report artifacts."""
+
+    suite: str
+    entry: str
+    measure: str
+    old: float
+    new: float
+
+    @property
+    def delta(self) -> float:
+        return self.new - self.old
+
+    @property
+    def regressed(self) -> bool:
+        # Every pinnable measure is a cost: more work, more messages,
+        # more rounds, more redundancy is always worse.
+        return self.new > self.old
+
+    def describe(self) -> str:
+        pct = (
+            f", {self.delta / self.old:+.1%}" if self.old else ""
+        )
+        return (
+            f"{self.suite}/{self.entry}: {self.measure} "
+            f"{self.old!r} -> {self.new!r} ({self.delta:+g}{pct})"
+        )
+
+
+@dataclass(frozen=True)
+class SuiteDiff:
+    """Outcome of diffing two suite-report artifacts."""
+
+    deltas: List[MeasureDelta]       # changed measures only
+    seconds: List[MeasureDelta]      # wall-clock deltas (informational)
+    structural: List[str]            # missing suites/entries, completion flips
+    informational: List[str]         # entries/suites only present in NEW
+
+    def regressions(self) -> List[str]:
+        return [d.describe() for d in self.deltas if d.regressed] + list(
+            self.structural
+        )
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions()
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "passed": self.passed,
+            "regressions": self.regressions(),
+            "deltas": [
+                {
+                    "suite": d.suite,
+                    "entry": d.entry,
+                    "measure": d.measure,
+                    "old": d.old,
+                    "new": d.new,
+                    "delta": d.delta,
+                    "regressed": d.regressed,
+                }
+                for d in self.deltas
+            ],
+            "seconds": [
+                {"suite": d.suite, "entry": d.entry, "old": d.old, "new": d.new}
+                for d in self.seconds
+            ],
+            "structural": list(self.structural),
+            "informational": list(self.informational),
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True) + "\n"
+
+    def table(self) -> str:
+        from repro.analysis.tables import render_table
+
+        if not self.deltas and not self.structural:
+            return "no metric changes between the two reports"
+        rows = [
+            [
+                d.suite,
+                d.entry,
+                d.measure,
+                d.old,
+                d.new,
+                f"{d.delta:+g}",
+                "REGRESSED" if d.regressed else "improved",
+            ]
+            for d in self.deltas
+        ]
+        table = render_table(
+            ["suite", "entry", "measure", "old", "new", "delta", "verdict"],
+            rows,
+            title="suite report diff (changed measures)",
+        )
+        if self.structural:
+            table += "\n" + "\n".join(f"REGRESSED {note}" for note in self.structural)
+        return table
+
+
+def _index_report_payload(payload: Any, *, where: str) -> Dict[str, Dict[str, Any]]:
+    """``{suite name: {entry name: entry dict}}`` from a report artifact."""
+    if isinstance(payload, dict):
+        payload = [payload]
+    if not isinstance(payload, list):
+        raise ConfigurationError(
+            f"{where} must hold a suite-report list (what "
+            "'suite run --out' / 'suite check --out' write), got "
+            f"{type(payload).__name__}"
+        )
+    suites: Dict[str, Dict[str, Any]] = {}
+    for index, report in enumerate(payload):
+        if not isinstance(report, dict) or "suite" not in report:
+            raise ConfigurationError(
+                f"report {index} of {where} is not a suite report "
+                "(missing the 'suite' field)"
+            )
+        entries = report.get("entries")
+        if not isinstance(entries, list):
+            raise ConfigurationError(
+                f"report {index} of {where} has no 'entries' list"
+            )
+        by_name: Dict[str, Any] = {}
+        for entry in entries:
+            if not isinstance(entry, dict) or "name" not in entry:
+                raise ConfigurationError(
+                    f"report {index} of {where} holds a malformed entry "
+                    "(each needs a 'name')"
+                )
+            by_name[entry["name"]] = entry
+        suites[report["suite"]] = by_name
+    return suites
+
+
+def diff_reports(
+    old_payload: Any,
+    new_payload: Any,
+    *,
+    old_label: str = "OLD",
+    new_label: str = "NEW",
+) -> SuiteDiff:
+    """Compare two report artifacts; see the module notes on what counts
+    as a regression."""
+    old_suites = _index_report_payload(old_payload, where=old_label)
+    new_suites = _index_report_payload(new_payload, where=new_label)
+    deltas: List[MeasureDelta] = []
+    seconds: List[MeasureDelta] = []
+    structural: List[str] = []
+    informational: List[str] = []
+    for suite_name, old_entries in old_suites.items():
+        new_entries = new_suites.get(suite_name)
+        if new_entries is None:
+            structural.append(f"{suite_name}: suite missing from {new_label}")
+            continue
+        for entry_name, old_entry in old_entries.items():
+            new_entry = new_entries.get(entry_name)
+            if new_entry is None:
+                structural.append(
+                    f"{suite_name}/{entry_name}: entry missing from {new_label}"
+                )
+                continue
+            if old_entry.get("all_completed", True) and not new_entry.get(
+                "all_completed", True
+            ):
+                structural.append(
+                    f"{suite_name}/{entry_name}: runs completed in "
+                    f"{old_label} but not in {new_label}"
+                )
+            old_observed = old_entry.get("observed", {})
+            new_observed = new_entry.get("observed", {})
+            for measure in PIN_MEASURES:
+                if measure not in old_observed or measure not in new_observed:
+                    continue
+                old_value = old_observed[measure]
+                new_value = new_observed[measure]
+                if new_value != old_value:
+                    deltas.append(
+                        MeasureDelta(
+                            suite_name, entry_name, measure, old_value, new_value
+                        )
+                    )
+            if "seconds" in old_entry and "seconds" in new_entry:
+                if new_entry["seconds"] != old_entry["seconds"]:
+                    seconds.append(
+                        MeasureDelta(
+                            suite_name,
+                            entry_name,
+                            "seconds",
+                            old_entry["seconds"],
+                            new_entry["seconds"],
+                        )
+                    )
+        for entry_name in new_entries:
+            if entry_name not in old_entries:
+                informational.append(
+                    f"{suite_name}/{entry_name}: new entry (no baseline)"
+                )
+    for suite_name in new_suites:
+        if suite_name not in old_suites:
+            informational.append(f"{suite_name}: new suite (no baseline)")
+    return SuiteDiff(
+        deltas=deltas,
+        seconds=seconds,
+        structural=structural,
+        informational=informational,
+    )
+
+
 __all__ = [
     "PIN_MEASURES",
     "SUITE_FORMAT_VERSION",
     "EntryReport",
+    "MeasureDelta",
     "Suite",
+    "SuiteDiff",
     "SuiteEntry",
     "SuiteReport",
+    "diff_reports",
     "discover_suites",
     "load_suite",
 ]

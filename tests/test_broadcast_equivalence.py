@@ -1,0 +1,512 @@
+"""Packed Broadcast fan-out must be observationally identical to the
+pre-broadcast-object expanded path, on both engines.
+
+The tentpole claim of the lazy-broadcast work: a protocol that emits one
+shared-payload :class:`Broadcast` behaves *bit-identically* to the same
+protocol whose batches are pre-expanded into per-copy ``Send`` lists and
+committed copy by copy (the pre-PR path) - same metrics, same
+payload-level traces, same RNG draws (adversary victim picks,
+crash-mid-broadcast subset draws, async delay draws), same outcome.
+
+Two oracles re-create the pre-PR behaviour exactly:
+
+* ``_ExpandedEngine`` (sync) wraps every process so its actions are
+  expanded to legacy ``List[Send]`` *before* the adversary and the
+  crash censor see them, and overrides ``_post_batch`` with the seed
+  engine's per-copy commit (one ``Envelope`` tuple per live recipient,
+  per-copy kind counting) - so the packed classes never touch the
+  reference execution;
+* ``_ExpandedAsyncEngine`` overrides ``_broadcast`` to route every copy
+  through the per-copy ``_send`` path (one delay draw and one
+  per-(recipient, due) batch entry per copy), i.e. exactly what the
+  engine did before broadcasts stayed packed.
+
+Running fast vs oracle over seeds x protocols x adversaries (including
+crash-mid-broadcast partial delivery) pins the rewrite the way
+``test_scheduler_equivalence.py`` pinned the scheduler and
+``test_bitset_equivalence.py`` pinned the bitsets.
+"""
+
+from typing import Dict, List
+
+import pytest
+
+from repro.core.registry import build_processes
+from repro.sim.actions import (
+    Action,
+    Broadcast,
+    Envelope,
+    MessageKind,
+    Send,
+    as_send_list,
+    broadcast,
+    summarize_sends,
+)
+from repro.sim.adversary import (
+    Cascade,
+    CrashMidBroadcast,
+    FixedSchedule,
+    KillActive,
+    RandomCrashes,
+    StaggeredWorkKills,
+)
+from repro.sim.async_engine import AsyncEngine, fixed_delays, uniform_delays
+from repro.sim.crashes import CrashDirective, CrashPhase
+from repro.sim.engine import Engine
+from repro.sim.failure_detector import FailureDetector
+from repro.sim.process import Process
+from repro.sim.trace import Trace
+from repro.work.tracker import WorkTracker
+
+# =====================================================================
+# The synchronous oracle: pre-PR expanded path
+# =====================================================================
+
+
+class _ExpandingProcess(Process):
+    """Wraps a process so every emitted batch is the legacy expanded
+    ``List[Send]`` - upstream of the adversary, the censor and the
+    commit, exactly as pre-PR protocols behaved."""
+
+    def __init__(self, inner: Process):
+        super().__init__(inner.pid, inner.t)
+        self.inner = inner
+
+    @property
+    def is_active(self) -> bool:
+        return (not self.retired) and self.inner.is_active
+
+    def wake_round(self):
+        if self.retired:
+            return None
+        return self.inner.wake_round()
+
+    def on_round(self, round_number: int, inbox) -> Action:
+        action = self.inner.on_round(round_number, inbox)
+        if isinstance(action.sends, Broadcast):
+            return Action(
+                work=action.work, sends=as_send_list(action.sends), halt=action.halt
+            )
+        return action
+
+
+class _ExpandedEngine(Engine):
+    """The seed engine's per-copy batch commit, kept as an oracle: one
+    kind-count bump and one :class:`Envelope` tuple per copy, no packing,
+    no shared envelopes."""
+
+    def _post_batch(self, src: int, sends: List[Send], round_number: int) -> None:
+        kind_counts: Dict[MessageKind, int] = {}
+        for send in sends:
+            kind = send.kind
+            kind_counts[kind] = kind_counts.get(kind, 0) + 1
+        self.metrics.record_send_batch(src, kind_counts, len(sends), round_number)
+        trace = self.trace
+        if trace.enabled:
+            for send in sends:
+                trace.emit(
+                    round_number, "send", src, (send.kind.value, send.dst, send.payload)
+                )
+        for send in sends:
+            dst = send.dst
+            if 0 <= dst < self.t and not self.processes[dst].retired:
+                self._mailboxes[dst].append(
+                    Envelope(src, dst, send.payload, send.kind, round_number)
+                )
+                self._note_mail(dst, round_number)
+
+
+def _build(protocol: str, n: int, t: int):
+    if protocol == "D-dynamic":
+        return build_processes(
+            protocol, n, t, schedule="arrivals:0x%d" % n, cycle_length=12
+        )
+    return build_processes(protocol, n, t)
+
+
+def _run_sync(engine_cls, wrap, protocol, n, t, adversary_factory, seed):
+    processes = _build(protocol, n, t)
+    if wrap:
+        processes = [_ExpandingProcess(p) for p in processes]
+    trace = Trace(enabled=True)
+    engine = engine_cls(
+        processes,
+        tracker=WorkTracker(n),
+        adversary=adversary_factory() if adversary_factory else None,
+        seed=seed,
+        strict_invariants=protocol.lower() in {"a", "b", "c", "naive"},
+        trace=trace,
+    )
+    result = engine.run()
+    events = [(e.round, e.kind, e.pid, e.detail) for e in trace]
+    return result, events
+
+
+def _assert_sync_equivalent(fast, fast_events, ref, ref_events):
+    assert fast.metrics.as_dict() == ref.metrics.as_dict()
+    assert len(fast_events) == len(ref_events)
+    # Payload-level diff: detail tuples carry the wire payloads.
+    for fast_event, ref_event in zip(fast_events, ref_events):
+        assert fast_event == ref_event, (fast_event, ref_event)
+    assert (fast.completed, fast.survivors, fast.halted) == (
+        ref.completed,
+        ref.survivors,
+        ref.halted,
+    )
+
+
+# 10 protocol/adversary shapes x 3 seeds = 30 synchronous combinations.
+SYNC_COMBOS = [
+    ("A", 40, 8, None),
+    ("A", 48, 8, lambda: RandomCrashes(4, max_action_index=12)),
+    ("A", 40, 6, lambda: CrashMidBroadcast(victims=(0, 2), min_batch=2)),
+    ("B", 40, 8, lambda: KillActive(5, actions_before_kill=2)),
+    ("C", 24, 6, lambda: KillActive(4, actions_before_kill=3)),
+    ("C-naive", 18, 6, lambda: Cascade(lead_units=6, redo_units=2)),
+    ("D", 96, 8, lambda: RandomCrashes(4, max_action_index=10)),
+    ("D", 96, 8, lambda: CrashMidBroadcast(victims=(1, 4), min_batch=3)),
+    (
+        "D",
+        96,
+        8,
+        lambda: FixedSchedule(
+            [
+                CrashDirective(pid=1, at_round=5, phase=CrashPhase.DURING_SEND),
+                CrashDirective(pid=4, at_round=13, phase=CrashPhase.AFTER_WORK),
+            ]
+        ),
+    ),
+    ("D-dynamic", 48, 8, lambda: StaggeredWorkKills.plan([(2, 1), (5, 2)])),
+]
+SEEDS = [0, 1, 2]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "protocol,n,t,adversary_factory",
+    SYNC_COMBOS,
+    ids=[
+        f"{c[0]}-n{c[1]}-t{c[2]}-{'adv' if c[3] else 'noadv'}-{i}"
+        for i, c in enumerate(SYNC_COMBOS)
+    ],
+)
+def test_packed_broadcasts_match_expanded_reference(
+    protocol, n, t, adversary_factory, seed
+):
+    fast, fast_events = _run_sync(
+        Engine, False, protocol, n, t, adversary_factory, seed
+    )
+    ref, ref_events = _run_sync(
+        _ExpandedEngine, True, protocol, n, t, adversary_factory, seed
+    )
+    _assert_sync_equivalent(fast, fast_events, ref, ref_events)
+
+
+# =====================================================================
+# Crash-mid-broadcast stays a recipients subset (never re-expanded)
+# =====================================================================
+
+
+def test_censored_broadcast_stays_packed_subset():
+    bcast = broadcast(range(1, 7), ("payload",), MessageKind.AGREEMENT)
+    directive = CrashDirective(
+        pid=0, at_round=0, phase=CrashPhase.DURING_SEND, keep=frozenset({2, 4, 9})
+    )
+    import random
+
+    survived = directive.censor(Action(work=3, sends=bcast), random.Random(1))
+    assert survived.work == 3
+    assert isinstance(survived.sends, Broadcast)
+    assert survived.sends.payload is bcast.payload  # shared, not re-allocated
+    assert summarize_sends(survived.sends) == (2, 4)
+
+
+def test_censored_broadcast_random_subset_matches_legacy_draws():
+    """The random-subset censor must consume RNG identically for the
+    packed and the legacy spelling of one broadcast."""
+    import random
+
+    legacy = [Send(dst, ("p",), MessageKind.CONTROL) for dst in range(5)]
+    packed = broadcast(range(5), ("p",), MessageKind.CONTROL)
+    directive = CrashDirective(pid=0, at_round=0, phase=CrashPhase.DURING_SEND)
+    for seed in range(20):
+        ref = directive.censor(Action(sends=list(legacy)), random.Random(seed))
+        fast = directive.censor(Action(sends=packed), random.Random(seed))
+        assert isinstance(fast.sends, Broadcast)
+        assert summarize_sends(fast.sends) == summarize_sends(ref.sends)
+
+
+# =====================================================================
+# Both spellings of one batch render identically (packed vs legacy)
+# =====================================================================
+
+
+class _Script(Process):
+    """Emits a fixed list of (round, Action) pairs."""
+
+    def __init__(self, pid, t, script):
+        super().__init__(pid, t)
+        self.script = list(script)
+
+    def wake_round(self):
+        if self.retired or not self.script:
+            return None
+        return self.script[0][0]
+
+    def on_round(self, round_number, inbox):
+        if self.script and self.script[0][0] <= round_number:
+            return self.script.pop(0)[1]
+        return Action.idle()
+
+
+def _render_run(batch):
+    sender = _Script(0, 4, [(0, Action(sends=batch)), (1, Action.halting())])
+    peers = [_Script(pid, 4, [(3, Action.halting())]) for pid in (1, 2, 3)]
+    trace = Trace(enabled=True)
+    result = Engine([sender] + peers, seed=5, trace=trace).run()
+    return result.metrics.as_dict(), trace.render()
+
+
+def test_packed_and_legacy_spellings_render_identically():
+    payload = ("ckpt", 7)
+    packed = broadcast((1, 2, 3), payload, MessageKind.CONTROL)
+    legacy = [Send(dst, payload, MessageKind.CONTROL) for dst in (1, 2, 3)]
+    assert summarize_sends(packed) == summarize_sends(legacy) == (1, 2, 3)
+    packed_metrics, packed_trace = _render_run(packed)
+    legacy_metrics, legacy_trace = _render_run(legacy)
+    assert packed_metrics == legacy_metrics
+    assert packed_trace == legacy_trace
+    assert "send" in packed_trace
+
+
+def test_envelope_views_keep_tuple_semantics_for_legacy_emitters():
+    """A legacy uniform List[Send] auto-packs, so its recipients receive
+    EnvelopeView objects - which must honour the full tuple protocol an
+    Envelope NamedTuple gave out-of-tree protocols: unpacking, indexing,
+    sorting without a key, equality and hashing."""
+    from repro.sim.actions import EnvelopeView, SharedEnvelope
+
+    shared = SharedEnvelope(0, ("p",), MessageKind.CONTROL, 7)
+    view = EnvelopeView(shared, 2)
+    equivalent = Envelope(0, 2, ("p",), MessageKind.CONTROL, 7)
+    src, dst, payload, kind, stamp = view  # unpacks like the NamedTuple
+    assert (src, dst, payload, kind, stamp) == tuple(equivalent)
+    assert view[1] == 2 and len(view) == 5
+    assert view == equivalent and equivalent == view
+    assert hash(view) == hash(equivalent)
+    assert view in {equivalent}
+    later = EnvelopeView(SharedEnvelope(0, ("p",), MessageKind.CONTROL, 9), 1)
+    later_tuple = Envelope(0, 1, ("p",), MessageKind.CONTROL, 9)
+    # Key-less sorting follows exactly the NamedTuple's field order
+    # (src, dst, ... - so `later` sorts first on its smaller dst).
+    assert [tuple(e) for e in sorted([view, later])] == sorted(
+        [tuple(equivalent), tuple(later_tuple)]
+    )
+    assert later < view and view > later
+    assert (later < view) == (later_tuple < equivalent)
+
+    # End to end: a process that unpacks its inbox envelopes as tuples
+    # keeps working when its peer sends an auto-packable legacy batch.
+    seen = []
+
+    class _Unpacker(_Script):
+        def on_round(self, round_number, inbox):
+            for envelope in inbox:
+                seen.append(tuple(envelope))
+            return super().on_round(round_number, inbox)
+
+    sender = _Script(
+        0,
+        2,
+        [
+            (0, Action(sends=[Send(1, ("legacy",), MessageKind.CONTROL)])),
+            (1, Action.halting()),
+        ],
+    )
+    receiver = _Unpacker(1, 2, [(3, Action.halting())])
+    Engine([sender, receiver], seed=1).run()
+    assert seen == [(0, 1, ("legacy",), MessageKind.CONTROL, 0)]
+
+
+def test_broadcast_slice_returns_send_list():
+    bcast = broadcast((3, 5, 9), ("p",), MessageKind.CONTROL)
+    assert bcast[0:2] == [
+        Send(3, ("p",), MessageKind.CONTROL),
+        Send(5, ("p",), MessageKind.CONTROL),
+    ]
+    assert bcast[-1] == Send(9, ("p",), MessageKind.CONTROL)
+    assert list(bcast[::2]) == [bcast[0], bcast[2]]
+
+
+def test_mixed_legacy_batch_keeps_per_copy_path():
+    """A batch mixing kinds cannot pack; it must still commit faithfully."""
+    batch = [
+        Send(1, ("reply",), MessageKind.POLL_REPLY),
+        Send(2, ("view",), MessageKind.ORDINARY),
+    ]
+    metrics, trace = _render_run(list(batch))
+    assert metrics["messages"] == 2
+    assert metrics["messages_by_kind"] == {"ordinary": 1, "poll_reply": 1}
+    assert "poll_reply" in trace and "ordinary" in trace
+
+
+# =====================================================================
+# The asynchronous oracle: per-copy broadcast expansion
+# =====================================================================
+
+
+class _ExpandedAsyncEngine(AsyncEngine):
+    """Pre-PR async behaviour: a broadcast is just its per-copy sends."""
+
+    def _broadcast(self, src, bcast):
+        for send in bcast:
+            self._send(src, send.dst, send.payload, send.kind)
+
+
+class _LoggingTracker(WorkTracker):
+    def __init__(self, n):
+        super().__init__(n)
+        self.log = []
+
+    def record(self, pid, unit, round_number):
+        super().record(pid, unit, round_number)
+        self.log.append((pid, unit, round_number))
+
+
+from repro.core.protocol_a_async import build_async_protocol_a  # noqa: E402
+from repro.sim.async_engine import AsyncProcess  # noqa: E402
+
+
+class _LoggingProcess(AsyncProcess):
+    """Logs every handler invocation (payload-level, stamped)."""
+
+    def __init__(self, inner, log):
+        super().__init__(inner.pid, inner.t)
+        self.inner = inner
+        self.log = log
+
+    def on_start(self, ctx):
+        self.inner.on_start(ctx)
+
+    def on_message(self, ctx, src, payload, kind):
+        self.log.append(("msg", round(ctx.now, 9), self.pid, src, payload, kind.value))
+        self.inner.on_message(ctx, src, payload, kind)
+
+    def on_wake(self, ctx, tag):
+        self.log.append(("wake", round(ctx.now, 9), self.pid, tag))
+        self.inner.on_wake(ctx, tag)
+
+    def on_suspect(self, ctx, crashed_pid):
+        self.log.append(("suspect", round(ctx.now, 9), self.pid, crashed_pid))
+        self.inner.on_suspect(ctx, crashed_pid)
+
+
+def _run_async(engine_cls, *, n, t, crash_times, delay_factory, detector_factory, seed):
+    log = []
+    processes = [_LoggingProcess(p, log) for p in build_async_protocol_a(n, t)]
+    tracker = _LoggingTracker(n)
+    engine = engine_cls(
+        processes,
+        tracker=tracker,
+        seed=seed,
+        crash_times=dict(crash_times),
+        delay_model=delay_factory(),
+        failure_detector=detector_factory(),
+    )
+    result = engine.run()
+    return result, tracker.log, log
+
+
+# 4 scenario shapes x 3 seeds = 12 asynchronous combinations.
+ASYNC_COMBOS = [
+    ("nofail_uniform", {}, uniform_delays, FailureDetector),
+    (
+        "rolling_uniform",
+        {pid: 4.0 + 9.0 * pid for pid in range(6)},
+        uniform_delays,
+        FailureDetector,
+    ),
+    (
+        "crash_fixed_delay",
+        {0: 5.0, 1: 17.0},
+        lambda: fixed_delays(1.0),
+        lambda: FailureDetector(min_delay=2.0, max_delay=2.0),
+    ),
+    (
+        "slow_detector",
+        {0: 1.0},
+        lambda: uniform_delays(0.1, 8.0),
+        lambda: FailureDetector(min_delay=40.0, max_delay=60.0),
+    ),
+]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "name,crash_times,delay_factory,detector_factory",
+    ASYNC_COMBOS,
+    ids=[s[0] for s in ASYNC_COMBOS],
+)
+def test_async_packed_broadcasts_match_per_copy_reference(
+    name, crash_times, delay_factory, detector_factory, seed
+):
+    n, t = 60, 8
+    fast, fast_work, fast_log = _run_async(
+        AsyncEngine,
+        n=n,
+        t=t,
+        crash_times=crash_times,
+        delay_factory=delay_factory,
+        detector_factory=detector_factory,
+        seed=seed,
+    )
+    ref, ref_work, ref_log = _run_async(
+        _ExpandedAsyncEngine,
+        n=n,
+        t=t,
+        crash_times=crash_times,
+        delay_factory=delay_factory,
+        detector_factory=detector_factory,
+        seed=seed,
+    )
+    assert fast.metrics.as_dict() == ref.metrics.as_dict()
+    assert fast_work == ref_work
+    assert fast_log == ref_log
+    assert (fast.completed, fast.survivors, fast.halted) == (
+        ref.completed,
+        ref.survivors,
+        ref.halted,
+    )
+
+
+def test_async_broadcast_schedules_one_event_per_due_instant():
+    """Under a deterministic delay model a t-1-recipient broadcast must
+    enter the heap as a single deliver_bcast event, not t-1 events."""
+    from repro.sim.actions import broadcast as make_broadcast
+
+    pushed = []
+
+    class _SpyEngine(AsyncEngine):
+        def _broadcast(self, src, bcast):
+            before = len(self._heap)
+            super()._broadcast(src, bcast)
+            pushed.append(len(self._heap) - before)
+
+    class Gossip(AsyncProcess):
+        def on_start(self, ctx):
+            others = [pid for pid in range(self.t) if pid != self.pid]
+            ctx.broadcast(make_broadcast(others, ("gen", self.pid), MessageKind.CONTROL))
+            ctx.wake_in(5.0, "stop")
+
+        def on_message(self, ctx, src, payload, kind):
+            pass
+
+        def on_wake(self, ctx, tag):
+            ctx.halt()
+
+    t = 8
+    engine = _SpyEngine([Gossip(pid, t) for pid in range(t)], seed=1, delay_model=fixed_delays(1.0))
+    result = engine.run()
+    assert result.halted == t
+    assert engine.metrics.messages_total == t * (t - 1)
+    assert pushed == [1] * t  # one heap event per broadcast, not t-1

@@ -335,11 +335,18 @@ def test_parallel_sweep_metrics_equal_serial_for(name):
     assert parallel.mean() == serial.mean()
 
 
+def _strip_timing(report: dict) -> dict:
+    """Drop the wall-clock fields: only they may differ across runs."""
+    report.pop("workers", None)
+    for entry in report["entries"]:
+        entry.pop("seconds", None)
+    return report
+
+
 def test_parallel_suite_report_equals_serial_report():
     suite = load_suite("scenarios/paper_battery.json")
-    serial = suite.run().as_dict()
-    parallel = suite.run(workers=4).as_dict()
-    serial.pop("workers"), parallel.pop("workers")
+    serial = _strip_timing(suite.run().as_dict())
+    parallel = _strip_timing(suite.run(workers=4).as_dict())
     assert parallel == serial
 
 
@@ -353,3 +360,176 @@ def test_live_adversary_instances_cannot_ship_to_workers():
     # ... but parallel execution requires serializable scenarios.
     with pytest.raises(ConfigurationError, match="does not serialize"):
         run_scenarios(scenarios, workers=2)
+
+
+# ---------------------------------------------------------------------
+# Per-entry workers hints + the wall-clock seconds column
+# ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("bad", ["2", 0, -1, True, 1.5])
+def test_workers_hint_is_validated(bad):
+    data = _suite_dict()
+    data["entries"][0]["workers"] = bad
+    with pytest.raises(ConfigurationError, match="'workers' of entry 0"):
+        Suite.from_dict(data)
+
+
+def test_workers_hint_round_trips_and_is_honored(monkeypatch):
+    data = _suite_dict()
+    data["entries"][0]["workers"] = 2
+    data["entries"].append(
+        {"name": "two", "scenario": {"protocol": "A", "n": 16, "t": 4, "seed": 2}}
+    )
+    suite = Suite.from_dict(data)
+    assert suite.entries[0].workers == 2
+    assert suite.entries[1].workers is None
+    assert Suite.from_dict(suite.to_dict()).to_dict() == suite.to_dict()
+
+    # The executor must pass each entry's effective worker count through.
+    import repro.suites as suites_module
+
+    seen = []
+
+    def spy_run_scenarios(scenarios, *, workers=None):
+        seen.append(workers)
+        return [scenario.run() for scenario in scenarios]
+
+    monkeypatch.setattr(suites_module, "run_scenarios", spy_run_scenarios)
+    report = suite.run(workers=3)
+    assert seen == [2, 3]  # entry hint wins; suite-level value is the default
+    assert report.passed
+
+
+def test_entry_reports_carry_wall_clock_seconds():
+    report = Suite.from_dict(_suite_dict()).run()
+    entry = report.entries[0]
+    assert entry.seconds >= 0.0
+    payload = entry.as_dict()
+    assert isinstance(payload["seconds"], float)
+    assert "seconds" in report.table()
+
+
+# ---------------------------------------------------------------------
+# suite diff: per-entry metric deltas across two report artifacts
+# ---------------------------------------------------------------------
+
+
+from repro.suites import diff_reports  # noqa: E402
+
+
+def _report_payload(**tweaks):
+    entry = {
+        "name": "one",
+        "kind": "scenario",
+        "runs": 1,
+        "observed": {
+            "work": 16, "messages": 6, "effort": 22,
+            "rounds": 20, "redundant_work": 0, "crashes": 0,
+        },
+        "pins": {},
+        "all_completed": True,
+        "seconds": 0.05,
+        "failures": [],
+        "passed": True,
+    }
+    entry.update(tweaks.pop("entry", {}))
+    report = {
+        "suite": "test-suite",
+        "version": 1,
+        "workers": 1,
+        "total_runs": 1,
+        "passed": True,
+        "entries": [entry],
+    }
+    report.update(tweaks)
+    return [report]
+
+
+def test_diff_equal_reports_passes():
+    diff = diff_reports(_report_payload(), _report_payload())
+    assert diff.passed
+    assert diff.regressions() == []
+    assert "no metric changes" in diff.table()
+
+
+def test_diff_flags_metric_regressions_and_improvements():
+    new = _report_payload(
+        entry={"observed": {
+            "work": 20, "messages": 5, "effort": 25,
+            "rounds": 20, "redundant_work": 0, "crashes": 0,
+        }}
+    )
+    diff = diff_reports(_report_payload(), new)
+    assert not diff.passed
+    regressed = {d.measure for d in diff.deltas if d.regressed}
+    improved = {d.measure for d in diff.deltas if not d.regressed}
+    assert regressed == {"work", "effort"}
+    assert improved == {"messages"}
+    assert any("work 16 -> 20" in msg for msg in diff.regressions())
+
+
+def test_diff_seconds_never_regress():
+    new = _report_payload(entry={"seconds": 99.0})
+    diff = diff_reports(_report_payload(), new)
+    assert diff.passed
+    assert [d.measure for d in diff.seconds] == ["seconds"]
+
+
+def test_diff_flags_structural_regressions():
+    # Entry disappeared.
+    new = _report_payload()
+    new[0]["entries"] = []
+    diff = diff_reports(_report_payload(), new)
+    assert not diff.passed
+    assert any("missing" in msg for msg in diff.regressions())
+    # Completion flipped.
+    new = _report_payload(entry={"all_completed": False})
+    diff = diff_reports(_report_payload(), new)
+    assert any("completed" in msg for msg in diff.regressions())
+    # New entries are informational, not regressions.
+    old = _report_payload()
+    new = _report_payload()
+    new[0]["entries"].append(dict(new[0]["entries"][0], name="fresh"))
+    diff = diff_reports(old, new)
+    assert diff.passed
+    assert any("fresh" in note for note in diff.informational)
+
+
+def test_diff_rejects_malformed_artifacts():
+    with pytest.raises(ConfigurationError, match="suite-report list"):
+        diff_reports("nonsense", _report_payload())
+    with pytest.raises(ConfigurationError, match="missing the 'suite'"):
+        diff_reports([{"entries": []}], _report_payload())
+
+
+def test_suite_diff_cli_round_trip(tmp_path, capsys):
+    """End to end: run a suite twice with --out, then diff the artifacts."""
+    suite_path = tmp_path / "suite.json"
+    suite_path.write_text(json.dumps(_suite_dict()))
+    old_path, new_path = tmp_path / "old.json", tmp_path / "new.json"
+    assert cli_main(["suite", "run", str(suite_path), "--out", str(old_path)]) == 0
+    assert cli_main(["suite", "run", str(suite_path), "--out", str(new_path)]) == 0
+    capsys.readouterr()
+
+    # Identical commits: no regressions, exit 0.
+    assert cli_main(["suite", "diff", str(old_path), str(new_path)]) == 0
+    assert "no metric changes" in capsys.readouterr().out
+
+    # Tamper with the new artifact to simulate a work regression.
+    payload = json.loads(new_path.read_text())
+    payload[0]["entries"][0]["observed"]["work"] += 5
+    new_path.write_text(json.dumps(payload))
+    assert cli_main(["suite", "diff", str(old_path), str(new_path), "--json"]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSION" in captured.err
+    machine = json.loads(captured.out)
+    assert machine["passed"] is False
+    assert machine["deltas"][0]["measure"] == "work"
+
+
+def test_suite_diff_cli_names_unreadable_artifacts(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    rc = cli_main(["suite", "diff", str(missing), str(missing)])
+    assert rc == 2
+    assert "cannot read report artifact" in capsys.readouterr().err
