@@ -95,6 +95,16 @@ SMOKE_SCENARIOS = [
         "adversary": "random:4,max_action_index=15",
         "seed": 1,
     },
+    {
+        # Crash-recover path: checkpoint restores, rejoin heap, stale
+        # phase replay - tracks what recovery support costs the engine.
+        "name": "D_recovery_smoke",
+        "protocol": "D-recovery",
+        "n": 64,
+        "t": 8,
+        "adversary": "crash-recover:3,repair_delay=5,max_action_index=15",
+        "seed": 1,
+    },
 ]
 
 FULL_SCENARIOS = [
@@ -159,6 +169,16 @@ FULL_SCENARIOS = [
         "t": 64,
         "seed": 1,
         "options": {"schedule": "arrivals:0x1024,40x512,80x512", "cycle_length": 20},
+    },
+    {
+        # Crash-recover at scale: repeated checkpoint restores and stale
+        # phase replays on top of the D agreement machinery.
+        "name": "D_recovery_n2048_t64",
+        "protocol": "D-recovery",
+        "n": 2048,
+        "t": 64,
+        "adversary": "crash-recover:16,repair_delay=8,max_action_index=30",
+        "seed": 1,
     },
     {
         # The lazy-broadcast tentpole scenario: Theta(t) = 1024-recipient

@@ -38,6 +38,7 @@ from repro.errors import (
     ReproError,
     SimulationStalled,
 )
+from repro.sim.congestion import CongestionBudget
 from repro.sim.engine import Adversary, Engine
 from repro.sim.metrics import Metrics, RunResult
 from repro.work.spec import WorkSpec
@@ -52,6 +53,7 @@ __all__ = [
     "ByzantineAgreement",
     "BudgetExceeded",
     "ConfigurationError",
+    "CongestionBudget",
     "Engine",
     "InvariantViolation",
     "Metrics",

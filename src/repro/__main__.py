@@ -21,6 +21,9 @@ Subcommands:
 
 * ``list`` - list registered protocols with engine kind and description.
 
+* ``adversaries`` - list adversary spec kinds with their required and
+  optional parameters (``--json`` for machine-readable rows).
+
 * ``suite`` - versioned, regression-pinned scenario suites (see
   ``docs/suites.md``)::
 
@@ -102,6 +105,7 @@ def _scenario_from_args(args, protocol: str) -> Scenario:
         seed=args.seed,
         adversary=_adversary_spec(args),
         delay=getattr(args, "delay", None),
+        congestion=getattr(args, "congestion", None),
         options=options,
     )
 
@@ -190,6 +194,22 @@ def _cmd_list(_args) -> int:
         if entry.description:
             suffix += f"  {entry.description}"
         print(f"{name}{suffix}")
+    return 0
+
+
+def _cmd_adversaries(args) -> int:
+    from repro.sim.adversary import adversary_kind_info
+
+    rows = adversary_kind_info()
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    table = []
+    for row in rows:
+        required = ", ".join(row["required"]) or "-"
+        optional = ", ".join(row["optional"]) or "-"
+        table.append([row["kind"], required, optional, row["summary"]])
+    print(render_table(["kind", "required", "optional", "summary"], table))
     return 0
 
 
@@ -341,6 +361,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="async delay model spec, e.g. 'uniform:0.5,4.0' or 'fixed:1'",
         )
         p.add_argument(
+            "--congestion",
+            default=None,
+            metavar="SPEC",
+            help="per-process per-round message budget spec, e.g. "
+            "'budget:send=4,receive=8' (both engines; see docs/faults.md)",
+        )
+        p.add_argument(
             "--schedule",
             default=None,
             metavar="SPEC",
@@ -412,6 +439,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_p = sub.add_parser("list", help="list registered protocols")
     list_p.set_defaults(func=_cmd_list)
+
+    adv_p = sub.add_parser(
+        "adversaries", help="list adversary spec kinds and their parameters"
+    )
+    adv_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable rows instead of the table",
+    )
+    adv_p.set_defaults(func=_cmd_adversaries)
 
     suite_p = sub.add_parser(
         "suite", help="run, list and check versioned scenario suites"

@@ -61,6 +61,11 @@ from repro.sim.async_engine import (
     delay_model_from_spec,
     normalize_delay_spec,
 )
+from repro.sim.congestion import (
+    CongestionSpec,
+    congestion_from_spec,
+    normalize_congestion_spec,
+)
 from repro.sim.engine import Engine
 from repro.sim.failure_detector import FailureDetector
 from repro.sim.specs import normalize_schedule_spec
@@ -97,6 +102,9 @@ class Scenario:
             sync engine's crashes come from the adversary).
         failure_detector: ``{"min_delay": ..., "max_delay": ...}``
             notification window of the async oracle detector.
+        congestion: per-process per-round send/receive budget spec
+            (``"budget:send=4,receive=8"`` or the dict form; see
+            :mod:`repro.sim.congestion`).  Both engines enforce it.
         strict_invariants: override the per-protocol default for the
             sync engine's single-active assertion.
         allow_total_failure: tolerate all-crashed executions (sync).
@@ -118,6 +126,7 @@ class Scenario:
     delay: DelaySpec = None
     crash_times: Optional[Dict[int, float]] = None
     failure_detector: Optional[Dict[str, float]] = None
+    congestion: CongestionSpec = None
     strict_invariants: Optional[bool] = None
     allow_total_failure: bool = False
     max_steps: int = DEFAULT_MAX_STEPS
@@ -146,6 +155,7 @@ class Scenario:
             self.adversary = normalize_adversary_spec(self.adversary)
         if not callable(self.delay):
             self.delay = normalize_delay_spec(self.delay)
+        self.congestion = normalize_congestion_spec(self.congestion)
         if "schedule" in self.options:
             # By convention the ``schedule`` builder option is a schedule
             # spec (dynamic-workload protocols); canonicalise it like the
@@ -243,6 +253,7 @@ class Scenario:
                 max_rounds=self.max_rounds,
                 trace=trace,
                 unit_effect=unit_effect,
+                congestion=congestion_from_spec(self.congestion),
             )
         else:
             if trace is not None or unit_effect is not None:
@@ -261,6 +272,7 @@ class Scenario:
                 failure_detector=detector,
                 crash_times=self.crash_times,
                 max_events=self.max_events,
+                congestion=congestion_from_spec(self.congestion),
             )
         result = engine.run()
         try:
@@ -289,6 +301,9 @@ class Scenario:
         delay = normalize_delay_spec(self.delay)
         if delay is not None:
             data["delay"] = delay
+        congestion = normalize_congestion_spec(self.congestion)
+        if congestion is not None:
+            data["congestion"] = congestion
         if self.crash_times:
             data["crash_times"] = {
                 int(pid): float(when) for pid, when in sorted(self.crash_times.items())

@@ -28,6 +28,7 @@ name              description                                     engine  paper 
 ``C-naive``       knowledge spreading without fault detection     sync    Section 3
 ``D``             parallel work + agreement phases, time-optimal  sync    Section 4
 ``D-dynamic``     D with dynamic work arrivals (schedule spec)    sync    Section 4 remark
+``D-recovery``    D with per-phase checkpoints + crash-recover    sync    Section 4 ext.
 ``replicate``     every process does everything                   sync    Section 1
 ``naive``         single worker, checkpoint-all every k units     sync    Sections 1-2
 ================  ==============================================  ======  ==========
@@ -45,6 +46,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.sim.congestion import congestion_from_spec
 from repro.sim.engine import Adversary, Engine
 from repro.sim.metrics import RunResult
 from repro.sim.process import Process
@@ -175,6 +177,7 @@ def run_protocol(
     max_rounds: Optional[int] = None,
     trace: Optional[Trace] = None,
     unit_effect=None,
+    congestion=None,
     **options,
 ) -> RunResult:
     """Build, run and account one *synchronous* execution of ``name`` on
@@ -207,6 +210,7 @@ def run_protocol(
         max_rounds=max_rounds,
         trace=trace,
         unit_effect=unit_effect,
+        congestion=congestion_from_spec(congestion),
     )
     return engine.run()
 
@@ -262,6 +266,16 @@ def _register_builtins() -> None:
             "D",
             build_protocol_d,
             description="parallel work + agreement phases, time-optimal",
+        )
+    except ImportError:  # pragma: no cover
+        pass
+    try:
+        from repro.core.protocol_d_recovery import build_protocol_d_recovery
+
+        register(
+            "D-recovery",
+            build_protocol_d_recovery,
+            description="D with per-phase checkpoints + crash-recover faults",
         )
     except ImportError:  # pragma: no cover
         pass

@@ -28,13 +28,13 @@ do (``fixed-schedule`` directives, ``compose`` parts).  See
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.sim.actions import Action, iter_dsts
 from repro.sim.crashes import CrashDirective, CrashPhase
 from repro.sim.engine import Adversary, Engine
-from repro.sim.specs import bind_positionals, split_spec_string
+from repro.sim.specs import bind_positionals, split_spec_string, to_int, to_number
 
 
 class NoFailures(Adversary):
@@ -82,7 +82,7 @@ class RandomCrashes(Adversary):
         victims: Optional[Sequence[int]] = None,
     ):
         if count < 0:
-            raise ConfigurationError("crash count must be non-negative")
+            raise ConfigurationError(f"crash count must be non-negative, got {count!r}")
         self.count = count
         self.max_action_index = max(1, max_action_index)
         self.phases = tuple(phases)
@@ -347,6 +347,266 @@ class CrashMidBroadcast(Adversary):
         return directives
 
 
+class RecoveringCrashes(Adversary):
+    """Crash-recover faults: random victims crash and rejoin later.
+
+    Like :class:`RandomCrashes`, each victim gets a countdown of observed
+    actions (uniform in ``1..max_action_index``), but every directive
+    carries ``recover_after=repair_delay``: the victim rejoins that many
+    rounds later, restored to its last checkpoint.  Only recovery-aware
+    protocols (``Process.supports_recovery``) accept such directives -
+    the engine rejects the spec on any other protocol.  With
+    ``repeat=True`` a recovered victim is re-armed with a fresh countdown
+    and crashes again, for as long as the run lasts.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        *,
+        repair_delay: int = 8,
+        max_action_index: int = 40,
+        phases: Sequence[CrashPhase] = tuple(CrashPhase),
+        victims: Optional[Sequence[int]] = None,
+        repeat: bool = False,
+    ):
+        if count < 0:
+            raise ConfigurationError(f"crash count must be non-negative, got {count!r}")
+        if repair_delay < 1:
+            raise ConfigurationError(
+                f"repair_delay must be >= 1, got {repair_delay!r}"
+            )
+        self.count = count
+        self.repair_delay = repair_delay
+        self.max_action_index = max(1, max_action_index)
+        self.phases = tuple(phases)
+        self.explicit_victims = list(victims) if victims is not None else None
+        self.repeat = repeat
+        self._countdown: Dict[int, int] = {}
+        self._armed = False
+
+    def _arm(self, engine: Engine) -> None:
+        population = (
+            self.explicit_victims
+            if self.explicit_victims is not None
+            else list(range(engine.t))
+        )
+        budget = min(self.count, max(0, engine.t - 1), len(population))
+        for victim in self.rng.sample(population, budget):
+            self._countdown[victim] = self.rng.randint(1, self.max_action_index)
+        self._armed = True
+
+    def decide(
+        self, round_number: int, actions: Dict[int, Action], engine: Engine
+    ) -> List[CrashDirective]:
+        if not self._armed:
+            self._arm(engine)
+        directives = []
+        for pid in list(actions):
+            if pid not in self._countdown:
+                continue
+            self._countdown[pid] -= 1
+            if self._countdown[pid] > 0:
+                continue
+            if engine.crashed_count >= engine.t - 1:
+                # Re-check later rather than over-kill; the countdown
+                # stays at zero so the victim crashes on its next action.
+                self._countdown[pid] = 1
+                continue
+            directives.append(
+                CrashDirective(
+                    pid=pid,
+                    at_round=round_number,
+                    phase=self.rng.choice(self.phases),
+                    recover_after=self.repair_delay,
+                )
+            )
+            if self.repeat:
+                # Fresh countdown: it only ticks once the victim is back
+                # (crashed processes take no actions).
+                self._countdown[pid] = self.rng.randint(1, self.max_action_index)
+            else:
+                del self._countdown[pid]
+        return directives
+
+
+class RackFailures(Adversary):
+    """Correlated crashes: whole groups ("racks") of pids die together.
+
+    Pids are partitioned into consecutive groups of ``group_size``
+    (or taken from an explicit ``groups`` list); ``racks`` of them are
+    sampled to fail, each at its own trigger point measured in
+    *cumulative observed actions* (uniform in ``1..max_trigger``), so the
+    kill lands mid-execution for dense and sparse protocols alike.  Every
+    member of a triggered rack gets the same directive; with
+    ``recover_after`` set the whole rack rejoins together - correlated
+    crash-recover.  The last-survivor guard is respected by truncating a
+    rack kill rather than over-killing.
+    """
+
+    def __init__(
+        self,
+        racks: int,
+        *,
+        group_size: int = 4,
+        groups: Optional[Sequence[Sequence[int]]] = None,
+        max_trigger: int = 30,
+        phase: CrashPhase = CrashPhase.BEFORE_ACTION,
+        recover_after: Optional[int] = None,
+    ):
+        if racks < 0:
+            raise ConfigurationError(f"rack count must be non-negative, got {racks!r}")
+        if group_size < 1:
+            raise ConfigurationError(f"group_size must be >= 1, got {group_size!r}")
+        if recover_after is not None and recover_after < 1:
+            raise ConfigurationError(
+                f"recover_after must be >= 1, got {recover_after!r}"
+            )
+        self.racks = racks
+        self.group_size = group_size
+        self.explicit_groups = (
+            [list(group) for group in groups] if groups is not None else None
+        )
+        self.max_trigger = max(1, max_trigger)
+        self.phase = phase
+        self.recover_after = recover_after
+        self._triggers: List[Tuple[int, List[int]]] = []  # (threshold, members)
+        self._seen_actions = 0
+        self._armed = False
+
+    def _arm(self, engine: Engine) -> None:
+        if self.explicit_groups is not None:
+            groups = self.explicit_groups
+        else:
+            pids = list(range(engine.t))
+            groups = [
+                pids[start : start + self.group_size]
+                for start in range(0, engine.t, self.group_size)
+            ]
+        budget = min(self.racks, len(groups))
+        chosen = self.rng.sample(range(len(groups)), budget)
+        self._triggers = sorted(
+            (self.rng.randint(1, self.max_trigger), groups[index])
+            for index in sorted(chosen)
+        )
+        self._armed = True
+
+    def decide(
+        self, round_number: int, actions: Dict[int, Action], engine: Engine
+    ) -> List[CrashDirective]:
+        if not self._armed:
+            self._arm(engine)
+        self._seen_actions += len(actions)
+        if not self._triggers or self._triggers[0][0] > self._seen_actions:
+            return []
+        directives: List[CrashDirective] = []
+        projected = engine.crashed_count
+        while self._triggers and self._triggers[0][0] <= self._seen_actions:
+            _, members = self._triggers.pop(0)
+            for pid in members:
+                if not 0 <= pid < engine.t or engine.processes[pid].retired:
+                    continue
+                if projected >= engine.t - 1:
+                    break
+                projected += 1
+                directives.append(
+                    CrashDirective(
+                        pid=pid,
+                        at_round=round_number,
+                        phase=self.phase,
+                        recover_after=self.recover_after,
+                    )
+                )
+        return directives
+
+
+class NeighbourCascade(Adversary):
+    """Cascading crashes: failures spread to ring neighbours.
+
+    Each ``origin`` crashes at the adversary's first opportunity; every
+    crash then infects the victim's ring neighbours (``pid +- 1`` mod
+    ``t``) independently with probability ``p``, ``hop_delay`` rounds
+    later, and those crashes cascade in turn.  ``budget`` caps the total
+    number of crashes (origins included); ``recover_after`` turns the
+    cascade into a rolling outage where victims rejoin.  All coin flips
+    happen at infection time in ascending-neighbour order, so the whole
+    cascade is a deterministic function of the seed.
+    """
+
+    def __init__(
+        self,
+        origins: Sequence[int],
+        *,
+        p: float = 0.5,
+        hop_delay: int = 1,
+        budget: Optional[int] = None,
+        phase: CrashPhase = CrashPhase.BEFORE_ACTION,
+        recover_after: Optional[int] = None,
+    ):
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"hop probability must be in [0, 1], got {p!r}")
+        if hop_delay < 1:
+            raise ConfigurationError(f"hop_delay must be >= 1, got {hop_delay!r}")
+        if recover_after is not None and recover_after < 1:
+            raise ConfigurationError(
+                f"recover_after must be >= 1, got {recover_after!r}"
+            )
+        self.origins = list(origins)
+        self.p = p
+        self.hop_delay = hop_delay
+        self.budget = budget
+        self.phase = phase
+        self.recover_after = recover_after
+        self._pending: Dict[int, int] = {}  # pid -> crash round
+        self._infected: set = set()
+        self._armed = False
+
+    def decide(
+        self, round_number: int, actions: Dict[int, Action], engine: Engine
+    ) -> List[CrashDirective]:
+        if not self._armed:
+            for origin in self.origins:
+                if 0 <= origin < engine.t:
+                    self._pending[origin] = round_number
+                    self._infected.add(origin)
+            self._armed = True
+        due = sorted(
+            pid for pid, at in self._pending.items() if at <= round_number
+        )
+        if not due:
+            return []
+        directives: List[CrashDirective] = []
+        projected = engine.crashed_count
+        for pid in due:
+            del self._pending[pid]
+            if engine.processes[pid].retired:
+                continue
+            if self.budget is not None and self.budget <= 0:
+                continue
+            if projected >= engine.t - 1:
+                continue
+            projected += 1
+            if self.budget is not None:
+                self.budget -= 1
+            directives.append(
+                CrashDirective(
+                    pid=pid,
+                    at_round=round_number,
+                    phase=self.phase,
+                    recover_after=self.recover_after,
+                )
+            )
+            for neighbour in sorted(
+                {(pid - 1) % engine.t, (pid + 1) % engine.t}
+            ):
+                if neighbour in self._infected:
+                    continue
+                if self.rng.random() < self.p:
+                    self._infected.add(neighbour)
+                    self._pending[neighbour] = round_number + self.hop_delay
+        return directives
+
+
 def compose(*adversaries: Adversary) -> Adversary:
     """Run several adversaries side by side (union of their directives)."""
 
@@ -425,14 +685,20 @@ def _pid_list(value, *, what: str) -> List[int]:
     if isinstance(value, int):
         return [value]
     if isinstance(value, (list, tuple)):
-        return [int(v) for v in value]
+        return [to_int(v, what=f"each pid in {what}") for v in value]
     raise ConfigurationError(f"{what} must be an int or a list of ints, got {value!r}")
+
+
+def _int_param(params, name: str, kind: str, *, minimum: Optional[int] = None) -> int:
+    return to_int(
+        params[name], what=f"{name!r} for adversary {kind!r}", minimum=minimum
+    )
 
 
 def _build_random(params) -> Adversary:
     kwargs = {}
     if "max_action_index" in params:
-        kwargs["max_action_index"] = int(params["max_action_index"])
+        kwargs["max_action_index"] = _int_param(params, "max_action_index", "random")
     if params.get("victims") is not None:
         kwargs["victims"] = _pid_list(params["victims"], what="'victims'")
     if params.get("phases") is not None:
@@ -440,31 +706,98 @@ def _build_random(params) -> Adversary:
         if not isinstance(phases, (list, tuple)):
             phases = [phases]
         kwargs["phases"] = tuple(_coerce_phase(p) for p in phases)
-    return RandomCrashes(int(params["count"]), **kwargs)
+    return RandomCrashes(_int_param(params, "count", "random"), **kwargs)
+
+
+def _build_crash_recover(params) -> Adversary:
+    kind = "crash-recover"
+    kwargs = {}
+    if "repair_delay" in params:
+        kwargs["repair_delay"] = _int_param(params, "repair_delay", kind, minimum=1)
+    if "max_action_index" in params:
+        kwargs["max_action_index"] = _int_param(params, "max_action_index", kind)
+    if params.get("victims") is not None:
+        kwargs["victims"] = _pid_list(params["victims"], what="'victims'")
+    if params.get("phases") is not None:
+        phases = params["phases"]
+        if not isinstance(phases, (list, tuple)):
+            phases = [phases]
+        kwargs["phases"] = tuple(_coerce_phase(p) for p in phases)
+    if "repeat" in params:
+        kwargs["repeat"] = bool(params["repeat"])
+    return RecoveringCrashes(_int_param(params, "count", kind), **kwargs)
+
+
+def _build_rack(params) -> Adversary:
+    kind = "rack"
+    kwargs = {}
+    if "group_size" in params:
+        kwargs["group_size"] = _int_param(params, "group_size", kind, minimum=1)
+    if params.get("groups") is not None:
+        groups = params["groups"]
+        if not isinstance(groups, (list, tuple)) or not groups:
+            raise ConfigurationError(
+                "'groups' for adversary 'rack' must be a non-empty list of "
+                f"pid lists, got {groups!r}"
+            )
+        # The string grammar parses "0+1+2" as one flat pid list - treat
+        # that as a single group.
+        if all(isinstance(v, int) for v in groups):
+            groups = [groups]
+        kwargs["groups"] = [
+            _pid_list(group, what="each group in 'groups'") for group in groups
+        ]
+    if "max_trigger" in params:
+        kwargs["max_trigger"] = _int_param(params, "max_trigger", kind, minimum=1)
+    if "phase" in params:
+        kwargs["phase"] = _coerce_phase(params["phase"])
+    if params.get("recover_after") is not None:
+        kwargs["recover_after"] = _int_param(params, "recover_after", kind, minimum=1)
+    return RackFailures(_int_param(params, "racks", kind), **kwargs)
+
+
+def _build_cascade_neighbours(params) -> Adversary:
+    kind = "cascade-neighbours"
+    kwargs = {}
+    if "p" in params:
+        kwargs["p"] = to_number(params["p"], what=f"'p' for adversary {kind!r}")
+    if "hop_delay" in params:
+        kwargs["hop_delay"] = _int_param(params, "hop_delay", kind, minimum=1)
+    if params.get("budget") is not None:
+        kwargs["budget"] = _int_param(params, "budget", kind)
+    if "phase" in params:
+        kwargs["phase"] = _coerce_phase(params["phase"])
+    if params.get("recover_after") is not None:
+        kwargs["recover_after"] = _int_param(params, "recover_after", kind, minimum=1)
+    return NeighbourCascade(
+        _pid_list(params["origins"], what="'origins'"), **kwargs
+    )
 
 
 def _build_kill_active(params) -> Adversary:
     kwargs = {}
     if "actions_before_kill" in params:
-        kwargs["actions_before_kill"] = int(params["actions_before_kill"])
+        kwargs["actions_before_kill"] = _int_param(
+            params, "actions_before_kill", "kill-active"
+        )
     if "phase" in params:
         kwargs["phase"] = _coerce_phase(params["phase"])
-    return KillActive(int(params["budget"]), **kwargs)
+    return KillActive(_int_param(params, "budget", "kill-active"), **kwargs)
 
 
 def _build_kill_before_checkpoint(params) -> Adversary:
-    return KillBeforeCheckpoint(int(params["budget"]))
+    return KillBeforeCheckpoint(_int_param(params, "budget", "kill-before-checkpoint"))
 
 
 def _build_cascade(params) -> Adversary:
     kwargs = {}
     if "redo_units" in params:
-        kwargs["redo_units"] = int(params["redo_units"])
+        kwargs["redo_units"] = _int_param(params, "redo_units", "cascade")
     if params.get("initial_dead") is not None:
         kwargs["initial_dead"] = _pid_list(params["initial_dead"], what="'initial_dead'")
     if params.get("budget") is not None:
-        kwargs["budget"] = int(params["budget"])
-    return Cascade(lead_units=int(params["lead_units"]), **kwargs)
+        kwargs["budget"] = _int_param(params, "budget", "cascade")
+    return Cascade(lead_units=_int_param(params, "lead_units", "cascade"), **kwargs)
 
 
 def _build_staggered(params) -> Adversary:
@@ -482,14 +815,19 @@ def _build_staggered(params) -> Adversary:
                 "'kills' for the 'staggered' adversary must be [pid, units] "
                 f"pairs (string form: 0x2+3x1), got {pair!r}"
             )
-        pairs.append((int(pair[0]), int(pair[1])))
+        pairs.append(
+            (
+                to_int(pair[0], what="each kill pid for adversary 'staggered'"),
+                to_int(pair[1], what="each kill unit count for adversary 'staggered'"),
+            )
+        )
     return StaggeredWorkKills.plan(pairs)
 
 
 def _build_crash_mid_broadcast(params) -> Adversary:
     kwargs = {}
     if "min_batch" in params:
-        kwargs["min_batch"] = int(params["min_batch"])
+        kwargs["min_batch"] = _int_param(params, "min_batch", "crash-mid-broadcast")
     return CrashMidBroadcast(_pid_list(params["victims"], what="'victims'"), **kwargs)
 
 
@@ -499,24 +837,32 @@ def _build_fixed_schedule(params) -> Adversary:
     if not isinstance(raw, (list, tuple)):
         raise ConfigurationError(
             "'directives' for the 'fixed-schedule' adversary must be a list "
-            "of {pid, at_round, phase?, keep?} dicts"
+            f"of {{pid, at_round, phase?, keep?, recover_after?}} dicts, "
+            f"got {raw!r}"
         )
     for item in raw:
         if not isinstance(item, dict):
             raise ConfigurationError(
                 f"each fixed-schedule directive must be a dict, got {item!r}"
             )
-        unknown = set(item) - {"pid", "at_round", "phase", "keep"}
+        unknown = set(item) - {"pid", "at_round", "phase", "keep", "recover_after"}
         if unknown:
             raise ConfigurationError(
                 f"unknown directive field(s) {sorted(unknown)}; "
-                "accepted: pid, at_round, phase, keep"
+                "accepted: pid, at_round, phase, keep, recover_after"
             )
-        kwargs = {"pid": int(item["pid"]), "at_round": int(item.get("at_round", 0))}
+        kwargs = {
+            "pid": to_int(item["pid"], what="directive 'pid'"),
+            "at_round": to_int(item.get("at_round", 0), what="directive 'at_round'"),
+        }
         if "phase" in item:
             kwargs["phase"] = _coerce_phase(item["phase"])
         if item.get("keep") is not None:
             kwargs["keep"] = frozenset(_pid_list(item["keep"], what="'keep'"))
+        if item.get("recover_after") is not None:
+            kwargs["recover_after"] = to_int(
+                item["recover_after"], what="directive 'recover_after'", minimum=1
+            )
         directives.append(CrashDirective(**kwargs))
     return FixedSchedule(directives)
 
@@ -544,6 +890,7 @@ class _SpecKind:
     required: Sequence[str]
     optional: Sequence[str]
     factory: Callable[[Dict[str, object]], Adversary]
+    summary: str = ""
 
     @property
     def accepted(self) -> List[str]:
@@ -553,44 +900,101 @@ class _SpecKind:
 _SPEC_KINDS: Dict[str, _SpecKind] = {}
 
 
-def _register_kind(name, positional, required, optional, factory) -> None:
-    _SPEC_KINDS[name] = _SpecKind(name, positional, required, optional, factory)
+def _register_kind(name, positional, required, optional, factory, summary="") -> None:
+    _SPEC_KINDS[name] = _SpecKind(
+        name, positional, required, optional, factory, summary
+    )
 
 
 _register_kind(
     "random", ("count",), ("count",),
     ("max_action_index", "victims", "phases"), _build_random,
+    "crash N random victims at random action opportunities",
+)
+_register_kind(
+    "crash-recover", ("count",), ("count",),
+    ("repair_delay", "max_action_index", "victims", "phases", "repeat"),
+    _build_crash_recover,
+    "random victims crash, then rejoin from their checkpoint after "
+    "repair_delay rounds (needs a recovery-aware protocol)",
+)
+_register_kind(
+    "rack", ("racks",), ("racks",),
+    ("group_size", "groups", "max_trigger", "phase", "recover_after"),
+    _build_rack,
+    "correlated failures: kill whole pid groups at once; optional "
+    "recover_after rejoins the rack",
+)
+_register_kind(
+    "cascade-neighbours", ("origins",), ("origins",),
+    ("p", "hop_delay", "budget", "phase", "recover_after"),
+    _build_cascade_neighbours,
+    "crashes spread to ring neighbours with per-hop probability p",
 )
 _register_kind(
     "kill-active", ("budget",), ("budget",),
     ("actions_before_kill", "phase"), _build_kill_active,
+    "crash each active process after a few actions (Theorem 2.3 redo bound)",
 )
 _register_kind(
     "kill-before-checkpoint", ("budget",), ("budget",), (),
     _build_kill_before_checkpoint,
+    "crash the active process the moment it attempts a broadcast",
 )
 _register_kind(
     "cascade", ("lead_units",), ("lead_units",),
     ("redo_units", "initial_dead", "budget"), _build_cascade,
+    "the Section 3 lower-bound schedule for naive knowledge spreading",
 )
 _register_kind(
     "staggered", ("kills",), ("kills",), (), _build_staggered,
+    "crash given victims after per-victim work quotas (0x2+3x1)",
 )
 _register_kind(
     "crash-mid-broadcast", ("victims",), ("victims",),
     ("min_batch",), _build_crash_mid_broadcast,
+    "crash victims mid-broadcast, delivering a random subset",
 )
 _register_kind(
     "fixed-schedule", (), ("directives",), (), _build_fixed_schedule,
+    "crash exactly the given {pid, at_round, phase?, keep?, recover_after?} "
+    "directives",
 )
 _register_kind(
     "compose", (), ("parts",), (), _build_compose,
+    "run several adversary specs side by side",
 )
 
 
 def available_adversary_kinds() -> List[str]:
     """Spec kinds accepted by :func:`adversary_from_spec` (plus ``none``)."""
     return sorted(_SPEC_KINDS) + ["none"]
+
+
+def adversary_kind_info() -> List[Dict[str, object]]:
+    """Machine-readable grammar table: one entry per spec kind, with its
+    required/optional parameters and which of them bind positionally in
+    the string grammar.  This is what ``repro adversaries`` prints."""
+    info: List[Dict[str, object]] = [
+        {
+            "kind": name,
+            "summary": spec_kind.summary,
+            "positional": list(spec_kind.positional),
+            "required": list(spec_kind.required),
+            "optional": list(spec_kind.optional),
+        }
+        for name, spec_kind in sorted(_SPEC_KINDS.items())
+    ]
+    info.append(
+        {
+            "kind": "none",
+            "summary": "the failure-free execution",
+            "positional": [],
+            "required": [],
+            "optional": [],
+        }
+    )
+    return info
 
 
 def _canonical_kind(kind: str) -> str:

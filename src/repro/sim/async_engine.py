@@ -41,6 +41,23 @@ sequence numbers and the same yield-to-heap-head rule keep global
 dispatch order exactly the per-copy engine's
 (``tests/test_broadcast_equivalence.py`` pins this against an engine
 that expands every broadcast).
+
+Congestion budgets
+------------------
+
+A :class:`~repro.sim.congestion.CongestionBudget` maps the synchronous
+engine's per-round caps onto continuous time via unit *windows*
+``[k, k + 1)``:
+
+* **send**: each process departs at most ``send`` copies per window.  A
+  copy over budget departs at the start of the next free window (the
+  per-src window cursor persists, so backlogs cascade); its delay is
+  drawn in the usual order and measured from the delayed departure.
+* **receive**: each process absorbs at most ``receive`` copies per
+  window; an over-budget copy is re-queued as a per-copy delivery at the
+  start of the next window, where it competes under that window's
+  budget again.  Deferral order is deterministic (fresh sequence numbers
+  in arrival order).
 """
 
 from __future__ import annotations
@@ -54,6 +71,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import BudgetExceeded, ConfigurationError, SimulationStalled
 from repro.sim.actions import Broadcast, MessageKind, SendBatch
+from repro.sim.congestion import CongestionBudget
 from repro.sim.failure_detector import FailureDetector
 from repro.sim.metrics import Metrics, RunResult
 from repro.sim.rng import derive_rng, make_rng
@@ -261,6 +279,7 @@ class AsyncEngine:
         failure_detector: Optional[FailureDetector] = None,
         crash_times: Optional[Dict[int, float]] = None,
         max_events: int = 2_000_000,
+        congestion: Optional[CongestionBudget] = None,
     ):
         self.processes: List[AsyncProcess] = list(processes)
         self.t = len(self.processes)
@@ -271,6 +290,11 @@ class AsyncEngine:
         self.delay_model = delay_model or uniform_delays()
         self.failure_detector = failure_detector or FailureDetector()
         self.max_events = max_events
+        self.congestion = congestion
+        # Congestion window cursors: src -> (window, copies departed) and
+        # dst -> (window, copies absorbed); see module docstring.
+        self._send_windows: Dict[int, Tuple[int, int]] = {}
+        self._recv_windows: Dict[int, Tuple[int, int]] = {}
         self.metrics = Metrics()
         self.now = 0.0
         self._heap: List[_Event] = []
@@ -288,6 +312,37 @@ class AsyncEngine:
     def _schedule_abs(self, time: float, kind: str, pid: int, payload: Any) -> None:
         heapq.heappush(self._heap, _Event(time, next(self._seq), kind, pid, payload))
 
+    def _departure(self, src: int) -> float:
+        """Send-budget departure instant for one copy from ``src``.
+
+        Consumes one slot in the earliest window with capacity at or
+        after ``now``; the copy departs immediately when that window is
+        the current one, else at the start of the later window.
+        """
+        budget = self.congestion.send
+        base = int(self.now)
+        window, used = self._send_windows.get(src, (base, 0))
+        if window < base:
+            window, used = base, 0
+        while used >= budget:
+            window += 1
+            used = 0
+        self._send_windows[src] = (window, used + 1)
+        return self.now if window == base else float(window)
+
+    def _admit(self, dst: int) -> bool:
+        """Consume one receive-budget slot for ``dst`` in the current
+        window; False means the copy must be retried next window."""
+        budget = self.congestion.receive
+        window = int(self.now)
+        slot, used = self._recv_windows.get(dst, (window, 0))
+        if slot < window:
+            slot, used = window, 0
+        if used < budget:
+            self._recv_windows[dst] = (window, used + 1)
+            return True
+        return False
+
     def _send(self, src: int, dst: int, payload: Any, kind: MessageKind) -> None:
         from repro.sim.actions import Envelope
 
@@ -296,7 +351,11 @@ class AsyncEngine:
         )
         self.metrics.record_send(envelope)
         delay = max(0.0, self.delay_model(self.delay_rng, src, dst))
-        due = self.now + delay
+        congestion = self.congestion
+        if congestion is not None and congestion.send is not None:
+            due = self._departure(src) + delay
+        else:
+            due = self.now + delay
         key = (dst, due)
         batch = self._batches.get(key)
         seq = next(self._seq)
@@ -321,13 +380,16 @@ class AsyncEngine:
         delay_rng = self.delay_rng
         now = self.now
         take_seq = self._seq
+        congestion = self.congestion
+        budgeted = congestion is not None and congestion.send is not None
         by_due: Dict[float, List[Tuple[int, int]]] = {}
         bits = bcast.recipients.to_int()
         while bits:
             low = bits & -bits
             bits ^= low
             dst = low.bit_length() - 1
-            due = now + max(0.0, delay_model(delay_rng, src, dst))
+            delay = max(0.0, delay_model(delay_rng, src, dst))
+            due = (self._departure(src) if budgeted else now) + delay
             seq = next(take_seq)
             copies = by_due.get(due)
             if copies is None:
@@ -397,8 +459,19 @@ class AsyncEngine:
             return 1
         ctx = AsyncContext(self, process.pid)
         if event.kind == "deliver":
-            # Per-copy path: kept for the reference (oracle) engine in
-            # tests/test_async_equivalence.py.
+            # Per-copy path: the reference (oracle) engine in
+            # tests/test_async_equivalence.py, and re-queued over-budget
+            # copies under a receive budget.
+            congestion = self.congestion
+            if (
+                congestion is not None
+                and congestion.receive is not None
+                and not self._admit(process.pid)
+            ):
+                self._schedule_abs(
+                    float(int(self.now) + 1), "deliver", process.pid, event.payload
+                )
+                return 1
             src, payload, kind = event.payload
             process.on_message(ctx, src, payload, kind)
         elif event.kind == "wake":
@@ -424,6 +497,8 @@ class AsyncEngine:
         process = self.processes[event.pid]
         heap = self._heap
         ctx = AsyncContext(self, event.pid)
+        congestion = self.congestion
+        guarded = congestion is not None and congestion.receive is not None
         delivered = 0
         # A re-pushed batch event carries its resume index; the batch list
         # is append-only while in flight, so indices stay valid.
@@ -440,7 +515,15 @@ class AsyncEngine:
             index += 1
             delivered += 1
             if not process.retired:
-                process.on_message(ctx, src, payload, kind)
+                if guarded and not self._admit(event.pid):
+                    self._schedule_abs(
+                        float(int(time) + 1),
+                        "deliver",
+                        event.pid,
+                        (src, payload, kind),
+                    )
+                else:
+                    process.on_message(ctx, src, payload, kind)
         del self._batches[key]
         return max(delivered, 1)
 
@@ -457,6 +540,8 @@ class AsyncEngine:
         src, payload, kind, copies = record
         heap = self._heap
         processes = self.processes
+        congestion = self.congestion
+        guarded = congestion is not None and congestion.receive is not None
         delivered = 0
         while index < len(copies):
             seq, dst = copies[index]
@@ -471,7 +556,12 @@ class AsyncEngine:
             delivered += 1
             process = processes[dst]
             if not process.retired:
-                process.on_message(AsyncContext(self, dst), src, payload, kind)
+                if guarded and not self._admit(dst):
+                    self._schedule_abs(
+                        float(int(time) + 1), "deliver", dst, (src, payload, kind)
+                    )
+                else:
+                    process.on_message(AsyncContext(self, dst), src, payload, kind)
         return max(delivered, 1)
 
     # ---- results ---------------------------------------------------------------------

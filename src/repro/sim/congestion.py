@@ -1,0 +1,121 @@
+"""Per-process per-round congestion budgets.
+
+The paper's model lets a process send arbitrarily many messages per
+round; the faulty-congested-clique line of work caps the per-round
+*bandwidth* of each process instead.  This module defines that cap as a
+declarative capability spec - the same grammar discipline as adversary,
+delay and schedule specs - and both engines enforce it:
+
+* **send budget**: a process may emit at most ``send`` point-to-point
+  copies per round.  Excess copies are deferred *deterministically* to
+  the process's following round(s), in recipient order for broadcasts
+  and list order otherwise.  Deferred copies are charged (metrics and
+  trace) at their actual departure round, and survive the sender
+  crashing in between - they were already handed to the network.
+* **receive budget**: a process may absorb at most ``receive`` envelopes
+  per round; the rest stay queued, oldest first, and arrive at the next
+  round(s).
+
+Spec grammar::
+
+    "budget:4"                     send=4 (receive unlimited)
+    "budget:send=4,receive=8"     named form
+    {"kind": "budget", "send": 4, "receive": 8}
+
+Budgets are integers >= 1; at least one of ``send``/``receive`` must be
+given.  :func:`normalize_congestion_spec` canonicalises to the dict form
+(JSON round-trippable, what :class:`repro.api.Scenario` stores), and
+:func:`congestion_from_spec` materialises the :class:`CongestionBudget`
+both engines consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.sim.specs import bind_positionals, split_spec_string, to_int
+
+#: What congestion-accepting entry points take: ``None`` (uncongested),
+#: a grammar string, a JSON-compatible dict, or the budget itself.
+CongestionSpec = Union[None, str, Dict[str, object], "CongestionBudget"]
+
+CONGESTION_KINDS = ("budget",)
+
+
+@dataclass(frozen=True)
+class CongestionBudget:
+    """Per-process per-round send/receive caps (``None`` = unlimited)."""
+
+    send: Optional[int] = None
+    receive: Optional[int] = None
+
+    def to_spec(self) -> Dict[str, object]:
+        spec: Dict[str, object] = {"kind": "budget"}
+        if self.send is not None:
+            spec["send"] = self.send
+        if self.receive is not None:
+            spec["receive"] = self.receive
+        return spec
+
+
+def normalize_congestion_spec(spec: CongestionSpec) -> Optional[Dict[str, object]]:
+    """Canonicalise ``spec`` to ``{"kind": "budget", ...}`` or ``None``.
+
+    Raises :class:`ConfigurationError` naming the offending parameter and
+    value for malformed specs.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, CongestionBudget):
+        spec = spec.to_spec()
+    if isinstance(spec, str):
+        kind, positional, named = split_spec_string(spec)
+        bound = bind_positionals(kind, ("send",), positional, what="congestion kind")
+        spec = {"kind": kind, **bound, **named}
+    if not isinstance(spec, dict):
+        raise ConfigurationError(
+            f"congestion spec must be None, a string, or a dict, got "
+            f"{type(spec).__name__}: {spec!r}"
+        )
+    if "kind" not in spec:
+        raise ConfigurationError(
+            "congestion spec dicts need a 'kind' key; known kinds: "
+            + ", ".join(CONGESTION_KINDS)
+        )
+    kind = str(spec["kind"]).strip().lower()
+    if kind not in CONGESTION_KINDS:
+        raise ConfigurationError(
+            f"unknown congestion kind {spec['kind']!r}; known kinds: "
+            + ", ".join(CONGESTION_KINDS)
+        )
+    params = {str(k).replace("-", "_"): v for k, v in spec.items() if k != "kind"}
+    unknown = set(params) - {"send", "receive"}
+    if unknown:
+        raise ConfigurationError(
+            f"unknown parameter(s) {sorted(unknown)} for congestion kind "
+            "'budget'; accepted: send, receive"
+        )
+    if not params:
+        raise ConfigurationError(
+            "congestion kind 'budget' needs at least one of 'send'/'receive' "
+            "(e.g. 'budget:send=4,receive=8')"
+        )
+    result: Dict[str, object] = {"kind": "budget"}
+    for name in ("send", "receive"):
+        if name in params:
+            result[name] = to_int(
+                params[name], what=f"{name!r} for congestion 'budget'", minimum=1
+            )
+    return result
+
+
+def congestion_from_spec(spec: CongestionSpec) -> Optional[CongestionBudget]:
+    """Materialise the budget both engines consume (``None`` = uncongested)."""
+    if isinstance(spec, CongestionBudget):
+        return spec
+    params = normalize_congestion_spec(spec)
+    if params is None:
+        return None
+    return CongestionBudget(send=params.get("send"), receive=params.get("receive"))

@@ -16,6 +16,18 @@ and the phase within the round:
 * ``DURING_SEND`` - work counts and an adversary-chosen subset of the
   round's send batch is delivered.
 * ``AFTER_ACTION`` - the whole round takes effect, then the process dies.
+
+Crash-recover extension
+-----------------------
+
+The paper's model is fail-stop, but the repo's fault universe also
+covers *repairable* faults: a directive with ``recover_after=k`` crashes
+the victim as usual and schedules it to rejoin ``k`` rounds later with
+**stale state** - whatever its last checkpoint held, not its crash-instant
+state.  Only recovery-aware protocols (``Process.supports_recovery``)
+accept such directives; the engine raises :class:`AdversaryError` for
+any other victim, because a protocol with no checkpoint discipline has
+no well-defined state to rejoin with.
 """
 
 from __future__ import annotations
@@ -49,12 +61,16 @@ class CrashDirective:
         keep: for ``DURING_SEND``: either an explicit frozenset of
             destination pids whose copies are delivered, or ``None``
             meaning "uniformly random subset" (size drawn by the engine).
+        recover_after: if set, the victim rejoins that many rounds after
+            the crash is applied, restored to its last checkpoint (see
+            module docstring).  Requires ``Process.supports_recovery``.
     """
 
     pid: int
     at_round: int
     phase: CrashPhase = CrashPhase.BEFORE_ACTION
     keep: Optional[FrozenSet[int]] = None
+    recover_after: Optional[int] = None
 
     def censor(self, action: Action, rng: random.Random) -> Action:
         """Return the part of ``action`` that survives this crash."""

@@ -54,6 +54,32 @@ an event index, mirroring the heap-based design of
   the same path; genuinely mixed batches keep the per-copy commit.
   Trace emission is skipped entirely when tracing is disabled.
 
+Crash-recover and congestion
+----------------------------
+
+Two extensions widen the paper's fault model without touching its
+defaults (both are off unless configured):
+
+* **Crash-recover faults.**  A :class:`CrashDirective` with
+  ``recover_after=k`` schedules its victim to rejoin ``k`` rounds after
+  the crash, restored to its last checkpoint via
+  ``Process.mark_recovered`` (only protocols with
+  ``supports_recovery = True`` accept such directives).  Pending rejoins
+  live in a ``(round, pid)`` heap merged into the next-due computation,
+  so quiescence fast-forward still works; a rejoining process is
+  rescheduled *before* the round's due set is collected and may act the
+  same round.
+* **Congestion budgets.**  A :class:`CongestionBudget` caps each
+  process's per-round sends and/or receives.  Excess sends are split off
+  deterministically (ascending recipient order for broadcasts, list
+  order otherwise) and parked in a per-round deferral map; they depart -
+  metrics and trace charged at the departure round - at the top of their
+  round, surviving the sender's crash in between (they were already in
+  the network), though copies to by-then-retired recipients are dropped
+  like any other send.  Excess *receives* stay queued at the front of
+  the mailbox (stamp order preserved, so the sortedness invariant
+  holds) and arrive at the next round(s).
+
 Wake rounds are cached, which is sound because ``wake_round()`` is a pure
 function of process state and that state only changes at engine-observed
 points (see the scheduling contract in :mod:`repro.sim.process`);
@@ -85,6 +111,7 @@ from repro.sim.actions import (
     SharedEnvelope,
     pack_sends,
 )
+from repro.sim.congestion import CongestionBudget
 from repro.sim.crashes import CrashDirective
 from repro.sim.metrics import Metrics, RunResult
 from repro.sim.process import Process
@@ -111,6 +138,7 @@ class Engine:
         allow_total_failure: bool = False,
         unit_effect: Optional[UnitEffectFn] = None,
         trace: Optional[Trace] = None,
+        congestion: Optional[CongestionBudget] = None,
     ):
         self.processes: List[Process] = list(processes)
         self.t = len(self.processes)
@@ -124,6 +152,14 @@ class Engine:
         self.allow_total_failure = allow_total_failure
         self.unit_effect = unit_effect
         self.trace = trace if trace is not None else Trace(enabled=False)
+        self.congestion = congestion
+        # Congestion: per-src send-slot cursor ``(round, copies_used)`` and
+        # the per-round deferral map + its round min-heap (see module
+        # docstring).  Crash-recover: pending ``(rejoin_round, pid)`` heap.
+        self._send_slots: Dict[int, Tuple[int, int]] = {}
+        self._deferred: Dict[int, List[Tuple[int, SendBatch]]] = {}
+        self._deferred_heap: List[int] = []
+        self._recoveries: List[Tuple[int, int]] = []
         self.metrics = Metrics()
         self.round = -1  # last processed round
         # Mailboxes hold Envelope tuples (point-to-point, legacy batches)
@@ -169,7 +205,10 @@ class Engine:
     def run(self) -> RunResult:
         """Run until every process retires; return the outcome."""
         steps = 0
-        while self._live:
+        # A crashed process with a pending rejoin still counts as work to
+        # do: the run only ends once no process is live *and* no recovery
+        # is scheduled.
+        while self._live or self._recoveries:
             next_round = self._next_due_round()
             if next_round is None:
                 # Live processes remain but none will ever act again.
@@ -241,15 +280,25 @@ class Engine:
 
     def _next_due_round(self) -> Optional[int]:
         heap, due_map = self._heap, self._due
+        best: Optional[int] = None
         while heap:
             due, pid = heap[0]
             if due_map.get(pid) == due:
-                # Due rounds may lie in the past ("act as soon as
-                # possible"); clamp to the next unprocessed round.
-                floor = self.round + 1
-                return due if due > floor else floor
+                best = due
+                break
             heappop(heap)
-        return None
+        # Deferred congestion flushes and pending rejoins are due rounds
+        # too - without them fast-forward would sail past the event.
+        if self._deferred_heap and (best is None or self._deferred_heap[0] < best):
+            best = self._deferred_heap[0]
+        if self._recoveries and (best is None or self._recoveries[0][0] < best):
+            best = self._recoveries[0][0]
+        if best is None:
+            return None
+        # Due rounds may lie in the past ("act as soon as possible");
+        # clamp to the next unprocessed round.
+        floor = self.round + 1
+        return best if best > floor else floor
 
     def _collect_due_pids(self, round_number: int) -> List[int]:
         """Pop every process due at ``round_number``, in pid order.
@@ -271,6 +320,13 @@ class Engine:
 
     def _process_round(self, round_number: int) -> None:
         self.round = round_number
+        # Rejoins first (a rejoined process may act this very round and
+        # may receive this round's deferred flushes), then deferred
+        # congestion departures (stamped this round, visible next round).
+        if self._recoveries:
+            self._apply_recoveries(round_number)
+        if self._deferred_heap:
+            self._flush_deferred(round_number)
         due_pids = self._collect_due_pids(round_number)
         stepped: Dict[int, Action] = {}
         processes = self.processes
@@ -311,6 +367,17 @@ class Engine:
             if envelope.sent_round >= round_number:
                 split = index
                 break
+        # Receive budget: absorb at most ``receive`` envelopes this round;
+        # the rest stay queued (oldest first, stamp order intact) and the
+        # post-round _refresh_schedule re-dues this process off the new
+        # mailbox head, so the backlog drains on consecutive rounds.
+        congestion = self.congestion
+        if (
+            congestion is not None
+            and congestion.receive is not None
+            and split > congestion.receive
+        ):
+            split = congestion.receive
         ready = mailbox[:split]
         del mailbox[:split]
         return ready
@@ -344,6 +411,25 @@ class Engine:
                     "pass allow_total_failure=True to permit executions with "
                     "no survivor"
                 )
+            if directive.recover_after is not None:
+                if not victim.supports_recovery:
+                    raise AdversaryError(
+                        f"directive asks pid {directive.pid} to recover "
+                        f"(recover_after={directive.recover_after!r}), but "
+                        f"{type(victim).__name__} does not support "
+                        "crash-recover faults; only protocols with "
+                        "supports_recovery=True keep a checkpoint to rejoin "
+                        "from"
+                    )
+                if directive.recover_after < 1:
+                    raise AdversaryError(
+                        f"recover_after must be >= 1, got "
+                        f"{directive.recover_after!r} (pid {directive.pid})"
+                    )
+                heappush(
+                    self._recoveries,
+                    (round_number + directive.recover_after, directive.pid),
+                )
             if directive.pid in stepped:
                 stepped[directive.pid] = directive.censor(
                     stepped[directive.pid], self.crash_rng
@@ -353,6 +439,22 @@ class Engine:
             victim.mark_crashed(max(directive.at_round, 0))
             self.metrics.record_crash(victim.pid, victim.crash_round or round_number)
             self.trace.emit(round_number, "crash", victim.pid, directive.phase.value)
+
+    def _apply_recoveries(self, round_number: int) -> None:
+        """Rejoin every process whose repair delay elapsed by this round."""
+        recoveries = self._recoveries
+        while recoveries and recoveries[0][0] <= round_number:
+            _, pid = heappop(recoveries)
+            process = self.processes[pid]
+            if not process.crashed or process.halted:
+                continue
+            # mark_recovered restores the checkpoint (on_recover) and its
+            # notify_wake_changed re-enters the process into the event
+            # index via _refresh_schedule - it may act this very round.
+            process.mark_recovered(round_number)
+            self._crashed_pids.discard(pid)
+            self.metrics.record_recovery(pid, round_number)
+            self.trace.emit(round_number, "recover", pid)
 
     # ---- committing actions ----------------------------------------------
 
@@ -378,8 +480,74 @@ class Engine:
             for send in self.unit_effect(pid, unit, round_number):
                 self._post(pid, send, round_number)
 
+    # ---- congestion (send budget) ----------------------------------------
+
+    def _allocate_send_rounds(self, src: int, count: int, round_number: int) -> List[Tuple[int, int]]:
+        """Assign ``count`` copies from ``src`` to departure rounds.
+
+        Returns ``[(round, copies), ...]`` with rounds strictly
+        ascending, the first entry possibly ``round_number`` itself;
+        later entries are deferred departures.  The per-src cursor
+        ``_send_slots[src] = (round, copies_used)`` persists across
+        calls, so a backlog from one round pushes the next round's sends
+        further out - exactly one budget's worth departs per round.
+        """
+        budget = self.congestion.send
+        slot_round, used = self._send_slots.get(src, (round_number, 0))
+        if slot_round < round_number:
+            slot_round, used = round_number, 0
+        segments: List[Tuple[int, int]] = []
+        while count:
+            free = budget - used
+            if free <= 0:
+                slot_round += 1
+                used = 0
+                continue
+            take = free if free < count else count
+            segments.append((slot_round, take))
+            used += take
+            count -= take
+        self._send_slots[src] = (slot_round, used)
+        return segments
+
+    def _defer(self, send_round: int, src: int, batch: SendBatch) -> None:
+        """Park ``batch`` (already in the network) until ``send_round``."""
+        bucket = self._deferred.get(send_round)
+        if bucket is None:
+            bucket = self._deferred[send_round] = []
+            heappush(self._deferred_heap, send_round)
+        bucket.append((src, batch))
+        if self.trace.enabled:
+            self.trace.emit(self.round, "defer", src, (send_round, len(batch)))
+
+    def _flush_deferred(self, round_number: int) -> None:
+        """Emit every deferred batch due by this round, stamped with it.
+
+        Deferred copies survive their sender's crash in the meantime;
+        recipients retired by now drop out inside the emit bodies, like
+        any other send.
+        """
+        heap = self._deferred_heap
+        while heap and heap[0] <= round_number:
+            for src, batch in self._deferred.pop(heappop(heap)):
+                if isinstance(batch, Broadcast):
+                    self._post_broadcast(src, batch, round_number)
+                else:
+                    self._emit_send_list(src, batch, round_number)
+
+    # ---- posting sends ---------------------------------------------------
+
     def _post(self, src: int, send: Send, round_number: int) -> None:
         """Post one send (the non-batched path, used by unit effects)."""
+        congestion = self.congestion
+        if congestion is not None and congestion.send is not None:
+            ((send_round, _),) = self._allocate_send_rounds(src, 1, round_number)
+            if send_round != round_number:
+                self._defer(send_round, src, [send])
+                return
+        self._emit_send(src, send, round_number)
+
+    def _emit_send(self, src: int, send: Send, round_number: int) -> None:
         self.metrics.record_send_fast(src, send.kind, round_number)
         if self.trace.enabled:
             self.trace.emit(
@@ -400,11 +568,39 @@ class Engine:
         shared-envelope fast path; a genuinely mixed legacy batch falls
         back to the per-copy commit.  Both spellings of one broadcast
         produce identical metrics, trace events and mailbox payloads.
+        Under a send budget the batch is first split into per-round
+        segments (ascending recipients / list order); only the current
+        round's segment departs now, the rest are deferred.
         """
         packed = pack_sends(sends)
+        congestion = self.congestion
+        if congestion is not None and congestion.send is not None:
+            total = len(packed) if packed is not None else len(sends)
+            segments = self._allocate_send_rounds(src, total, round_number)
+            dsts = packed.dsts() if packed is not None and len(segments) > 1 else None
+            offset = 0
+            for send_round, take in segments:
+                if take == total:
+                    segment: SendBatch = packed if packed is not None else sends
+                elif packed is not None:
+                    segment = packed.restrict(dsts[offset : offset + take])
+                else:
+                    segment = sends[offset : offset + take]
+                offset += take
+                if send_round != round_number:
+                    self._defer(send_round, src, segment)
+                elif packed is not None:
+                    self._post_broadcast(src, segment, round_number)
+                else:
+                    self._emit_send_list(src, segment, round_number)
+            return
         if packed is not None:
             self._post_broadcast(src, packed, round_number)
             return
+        self._emit_send_list(src, sends, round_number)
+
+    def _emit_send_list(self, src: int, sends: List[Send], round_number: int) -> None:
+        """Commit a genuinely mixed legacy batch, one copy at a time."""
         kind_counts: Dict[MessageKind, int] = {}
         for send in sends:
             kind = send.kind

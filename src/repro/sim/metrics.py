@@ -28,6 +28,7 @@ class Metrics:
     messages_by_kind: Counter = field(default_factory=Counter)
     messages_by_process: Counter = field(default_factory=Counter)
     crashes: int = 0
+    recoveries: int = 0            # crash-recover rejoins (see sim.crashes)
     rounds: int = 0                # last round in which anything happened
     retire_round: int = 0          # round by which every process retired
     activations: int = 0           # times a process became active (A/B/C)
@@ -95,6 +96,10 @@ class Metrics:
         self.crashes += 1
         self.retire_round = max(self.retire_round, round_number)
 
+    def record_recovery(self, pid: int, round_number: int) -> None:
+        self.recoveries += 1
+        self.rounds = max(self.rounds, round_number)
+
     def record_retire(self, pid: int, round_number: int) -> None:
         self.retire_round = max(self.retire_round, round_number)
 
@@ -128,6 +133,7 @@ class Metrics:
             "rounds": self.retire_round,
             "redundant_work": self.redundant_work(),
             "crashes": self.crashes,
+            "recoveries": self.recoveries,
             "activations": self.activations,
             "available_processor_steps": self.available_processor_steps,
             "messages_by_kind": {

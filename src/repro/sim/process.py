@@ -27,6 +27,18 @@ follow for implementations:
 
 Every protocol in this repository satisfies the contract naturally: their
 deadlines and scripts advance only inside ``on_round``.
+
+Crash-recover lifecycle
+-----------------------
+
+A crash is permanent by default.  Protocols that maintain a checkpoint
+from which a crashed process can meaningfully rejoin opt in by setting
+the class attribute :attr:`Process.supports_recovery` to ``True`` and
+overriding :meth:`Process.on_recover`, which must restore the process to
+its *stale* (last-checkpoint) state - never its crash-instant state.
+The engine drives the rejoin through :meth:`Process.mark_recovered` when
+a crash directive carried ``recover_after``; it refuses (with
+``AdversaryError``) to recover a process whose class does not opt in.
 """
 
 from __future__ import annotations
@@ -80,6 +92,37 @@ class Process(ABC):
         if self.halt_round is None:
             self.halt_round = round_number
         self.notify_wake_changed()
+
+    #: Whether this protocol keeps a checkpoint that makes crash-recover
+    #: directives meaningful.  Recovery-aware subclasses set this to True
+    #: and override :meth:`on_recover`.
+    supports_recovery = False
+
+    def mark_recovered(self, round_number: int) -> None:
+        """Rejoin after a ``recover_after`` crash (engine-driven).
+
+        Clears the crash flags, asks the protocol to restore its last
+        checkpoint via :meth:`on_recover`, then refreshes the engine's
+        cached schedule entry.
+        """
+        self.crashed = False
+        self.crash_round = None
+        self.on_recover(round_number)
+        self.notify_wake_changed()
+
+    def on_recover(self, round_number: int) -> None:
+        """Restore this process to its last checkpoint.
+
+        Called by :meth:`mark_recovered` exactly once per rejoin, with the
+        round at which the process comes back to life.  Implementations
+        must rebuild *stale* state (the checkpoint, not the crash-instant
+        state) and leave ``wake_round()`` consistent with it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support crash-recover faults; "
+            "recovery-aware protocols must set supports_recovery = True and "
+            "override on_recover()"
+        )
 
     # ---- scheduling ------------------------------------------------
 

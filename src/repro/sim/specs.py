@@ -108,7 +108,9 @@ ScheduleSpec = Union[None, str, Dict[str, object]]
 SCHEDULE_KINDS = ("uniform", "arrivals", "explicit")
 
 
-def _to_int(value, *, what: str, minimum: Optional[int] = None) -> int:
+def to_int(value, *, what: str, minimum: Optional[int] = None) -> int:
+    """Coerce a spec value to int, raising ConfigurationError naming the
+    parameter *and the offending value* (never a bare ValueError)."""
     try:
         result = int(value)
         if isinstance(value, float) and value != result:
@@ -118,6 +120,10 @@ def _to_int(value, *, what: str, minimum: Optional[int] = None) -> int:
     if minimum is not None and result < minimum:
         raise ConfigurationError(f"{what} must be >= {minimum}, got {result}")
     return result
+
+
+# Internal alias kept for the schedule parsers below.
+_to_int = to_int
 
 
 def _normalize_batches(raw, *, what: str) -> List[List[int]]:

@@ -168,3 +168,61 @@ def test_compare_json(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert [entry["config"]["protocol"] for entry in payload] == ["a", "d"]
     assert all(entry["completed"] for entry in payload)
+
+
+def test_adversaries_listing(capsys):
+    assert main(["adversaries"]) == 0
+    out = capsys.readouterr().out
+    for kind in ("crash-recover", "rack", "cascade-neighbours", "random", "none"):
+        assert kind in out
+    assert "repair_delay" in out  # optional params are listed
+
+
+def test_adversaries_json_listing(capsys):
+    assert main(["adversaries", "--json"]) == 0
+    rows = {row["kind"]: row for row in json.loads(capsys.readouterr().out)}
+    assert rows["crash-recover"]["required"] == ["count"]
+    assert "repair_delay" in rows["crash-recover"]["optional"]
+    assert rows["none"]["required"] == []
+
+
+def test_run_congestion_flag(capsys):
+    assert (
+        main(
+            [
+                "run", "d", "--n", "32", "--t", "4",
+                "--congestion", "budget:send=2,receive=4", "--json",
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["config"]["congestion"] == {
+        "kind": "budget", "send": 2, "receive": 4,
+    }
+    assert payload["completed"]
+
+
+def test_run_bad_congestion_spec_is_a_clean_error(capsys):
+    assert (
+        main(["run", "d", "--n", "32", "--t", "4", "--congestion", "budget:send=0"])
+        == 2
+    )
+    err = capsys.readouterr().err
+    assert "error:" in err and "0" in err
+
+
+def test_run_d_recovery_with_crash_recover_spec(capsys):
+    assert (
+        main(
+            [
+                "run", "d-recovery", "--n", "32", "--t", "4",
+                "--adversary", "crash-recover:1,repair_delay=4",
+                "--seed", "2", "--json",
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["metrics"]["recoveries"] == payload["metrics"]["crashes"]
+    assert payload["completed"]

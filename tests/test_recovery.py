@@ -1,0 +1,290 @@
+"""Crash-recover faults: engine lifecycle, recovery-aware Protocol D,
+and the correlated-failure adversaries (rack kills, neighbour cascades)."""
+
+import json
+
+import pytest
+
+from repro import run_protocol
+from repro.api import Scenario
+from repro.errors import AdversaryError, ConfigurationError
+from repro.sim.adversary import (
+    FixedSchedule,
+    NeighbourCascade,
+    RackFailures,
+    RecoveringCrashes,
+    adversary_from_spec,
+)
+from repro.sim.crashes import CrashDirective
+from repro.sim.trace import Trace
+
+
+# ---- engine lifecycle ------------------------------------------------
+
+
+def test_fixed_schedule_recovery_crashes_then_rejoins():
+    trace = Trace(enabled=True)
+    schedule = FixedSchedule([CrashDirective(pid=1, at_round=4, recover_after=3)])
+    result = run_protocol(
+        "D-recovery", 24, 4, adversary=schedule, seed=0, trace=trace
+    )
+    assert result.completed
+    assert result.metrics.crashes == 1
+    assert result.metrics.recoveries == 1
+    crash = trace.first("crash")
+    recover = trace.first("recover")
+    assert crash.pid == 1 and crash.round == 4
+    assert recover.pid == 1 and recover.round == 7
+    # The rejoiner acted again after coming back.
+    assert any(
+        e.round >= 7 for e in trace.for_pid(1) if e.kind in ("work", "send")
+    )
+
+
+def test_recovered_process_counts_as_survivor():
+    schedule = FixedSchedule([CrashDirective(pid=0, at_round=2, recover_after=2)])
+    result = run_protocol("D-recovery", 24, 4, adversary=schedule, seed=1)
+    assert result.completed
+    assert result.survivors == 4  # nobody is down at the end
+
+
+def test_recovery_rejected_for_non_recovery_protocols():
+    schedule = FixedSchedule([CrashDirective(pid=0, at_round=2, recover_after=2)])
+    with pytest.raises(AdversaryError, match="supports_recovery"):
+        run_protocol("A", 24, 4, adversary=schedule, seed=0)
+
+
+def test_recover_after_must_be_positive():
+    schedule = FixedSchedule([CrashDirective(pid=0, at_round=2, recover_after=0)])
+    with pytest.raises(AdversaryError, match="got 0"):
+        run_protocol("D-recovery", 24, 4, adversary=schedule, seed=0)
+
+
+def test_repeated_crash_recover_cycles_still_terminate():
+    schedule = FixedSchedule(
+        [
+            CrashDirective(pid=2, at_round=3, recover_after=2),
+            CrashDirective(pid=2, at_round=9, recover_after=2),
+            CrashDirective(pid=2, at_round=15, recover_after=2),
+        ]
+    )
+    result = run_protocol("D-recovery", 24, 4, adversary=schedule, seed=0)
+    assert result.completed
+    assert result.metrics.crashes == 3
+    assert result.metrics.recoveries == 3
+
+
+# ---- adversaries -----------------------------------------------------
+
+
+def test_recovering_crashes_every_crash_recovers():
+    for seed in range(4):
+        result = run_protocol(
+            "D-recovery",
+            40,
+            8,
+            adversary=RecoveringCrashes(3, repair_delay=5, max_action_index=15),
+            seed=seed,
+        )
+        assert result.completed
+        assert result.metrics.recoveries == result.metrics.crashes
+        assert result.survivors == 8
+
+
+def test_recovering_crashes_repeat_mode_rearms():
+    # Repeat mode can legitimately livelock a victim (crash cadence
+    # shorter than a phase replay), so bound the run and read the trace
+    # instead of demanding termination.
+    from repro.errors import BudgetExceeded
+
+    trace = Trace(enabled=True)
+    try:
+        run_protocol(
+            "D-recovery",
+            40,
+            8,
+            adversary=RecoveringCrashes(
+                2, repair_delay=4, max_action_index=10, repeat=True
+            ),
+            seed=3,
+            max_rounds=300,
+            trace=trace,
+        )
+    except BudgetExceeded:
+        pass
+    crashes = trace.of_kind("crash")
+    recoveries = trace.of_kind("recover")
+    # Re-arming means more crashes than the victim budget, and every
+    # completed repair interval produced a rejoin.
+    assert len(crashes) > 2
+    assert recoveries
+    assert {e.pid for e in recoveries} <= {e.pid for e in crashes}
+
+
+def test_rack_failures_kill_whole_groups():
+    trace = Trace(enabled=True)
+    result = run_protocol(
+        "D",
+        40,
+        8,
+        adversary=RackFailures(1, group_size=4),
+        seed=2,
+        trace=trace,
+    )
+    crashed = {e.pid for e in trace.of_kind("crash")}
+    # The victims form one consecutive-pid rack (possibly truncated by
+    # the never-kill-everyone guard).
+    assert crashed
+    assert max(crashed) - min(crashed) < 4
+    assert result.completed
+
+
+def test_rack_failures_with_recovery_rejoin():
+    result = run_protocol(
+        "D-recovery",
+        40,
+        8,
+        adversary=RackFailures(1, group_size=3, recover_after=6),
+        seed=2,
+    )
+    assert result.completed
+    # The chosen rack may be the short leftover group (8 pids in 3s).
+    assert result.metrics.crashes >= 2
+    assert result.metrics.recoveries == result.metrics.crashes
+    assert result.survivors == 8
+
+
+def test_neighbour_cascade_spreads_from_origin():
+    trace = Trace(enabled=True)
+    result = run_protocol(
+        "D",
+        40,
+        8,
+        adversary=NeighbourCascade([3], p=1.0, budget=4),
+        seed=0,
+        trace=trace,
+    )
+    crashes = trace.of_kind("crash")
+    assert len(crashes) >= 2  # p=1.0 always infects both neighbours
+    # Each later victim neighbours an earlier one on the pid ring.
+    infected = [crashes[0].pid]
+    for event in crashes[1:]:
+        assert any(
+            event.pid in ((p - 1) % 8, (p + 1) % 8) for p in infected
+        )
+        infected.append(event.pid)
+    assert result.completed
+
+
+def test_neighbour_cascade_p_zero_stays_at_origins():
+    result = run_protocol(
+        "D", 40, 8, adversary=NeighbourCascade([2, 5], p=0.0), seed=5
+    )
+    assert result.metrics.crashes == 2
+
+
+# ---- determinism and serialization -----------------------------------
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "crash-recover:2,repair_delay=5,max_action_index=12",
+        "rack:1,group_size=3,recover_after=6",
+        "cascade-neighbours:1,p=0.7,hop_delay=2,recover_after=7",
+    ],
+)
+def test_recovery_adversaries_deterministic_under_seed(spec):
+    def run():
+        return Scenario(
+            protocol="D-recovery", n=48, t=6, seed=9, adversary=spec
+        ).run()
+
+    first, second = run(), run()
+    assert first.metrics.as_dict() == second.metrics.as_dict()
+    assert first.completed and second.completed
+
+
+def test_recovery_scenario_json_round_trip_reproduces_metrics():
+    scenario = Scenario(
+        protocol="D-recovery",
+        n=48,
+        t=6,
+        seed=11,
+        adversary={
+            "kind": "crash-recover",
+            "count": 2,
+            "repair_delay": 5,
+            "max_action_index": 15,
+        },
+    )
+    clone = Scenario.from_dict(json.loads(json.dumps(scenario.to_dict())))
+    first, second = scenario.run(), clone.run()
+    assert first.metrics.as_dict() == second.metrics.as_dict()
+    assert first.metrics.recoveries > 0
+
+
+def test_recovery_metrics_exposed_in_as_dict():
+    result = run_protocol(
+        "D-recovery",
+        24,
+        4,
+        adversary=FixedSchedule(
+            [CrashDirective(pid=1, at_round=4, recover_after=3)]
+        ),
+        seed=0,
+    )
+    assert result.metrics.as_dict()["recoveries"] == 1
+
+
+# ---- spec grammar ----------------------------------------------------
+
+
+def test_crash_recover_spec_builds_adversary():
+    adversary = adversary_from_spec(
+        "crash-recover:3,repair_delay=6,max_action_index=20"
+    )
+    assert isinstance(adversary, RecoveringCrashes)
+    assert adversary.repair_delay == 6
+
+
+def test_rack_spec_group_forms():
+    flat = adversary_from_spec("rack:1,groups=0+1+2")
+    assert flat.explicit_groups == [[0, 1, 2]]
+    explicit = adversary_from_spec(
+        {"kind": "rack", "racks": 1, "groups": [[0, 1], [4, 5]]}
+    )
+    assert explicit.explicit_groups == [[0, 1], [4, 5]]
+
+
+def test_cascade_neighbours_spec_builds_adversary():
+    adversary = adversary_from_spec(
+        {"kind": "cascade-neighbours", "origins": [2], "p": 0.25}
+    )
+    assert isinstance(adversary, NeighbourCascade)
+    assert adversary.p == 0.25
+
+
+@pytest.mark.parametrize(
+    "spec, fragment",
+    [
+        # Malformed values must surface the offending value, not just a
+        # parameter name.
+        ("crash-recover:2,repair_delay=0", "0"),
+        ("crash-recover:2,repair_delay=soon", "'soon'"),
+        ("crash-recover:-1", "-1"),
+        ({"kind": "crash-recover"}, "count"),
+        ({"kind": "crash-recover", "count": 2, "phases": ["sideways"]}, "sideways"),
+        ("rack:2,group_size=0", "0"),
+        ({"kind": "rack", "racks": 1, "groups": "nope"}, "nope"),
+        ({"kind": "rack", "racks": 1, "groups": []}, "[]"),
+        ("cascade-neighbours:1,p=1.5", "1.5"),
+        ("cascade-neighbours:1,p=high", "'high'"),
+        ("cascade-neighbours:1,hop_delay=0", "0"),
+        ({"kind": "cascade-neighbours"}, "origins"),
+    ],
+)
+def test_malformed_recovery_specs_name_the_offending_value(spec, fragment):
+    with pytest.raises(ConfigurationError) as excinfo:
+        adversary_from_spec(spec)
+    assert fragment in str(excinfo.value)

@@ -273,6 +273,7 @@ def test_incomplete_runs_fail_even_without_pins():
 def test_shipped_suite_files_are_discovered():
     assert SHIPPED_SUITES == [
         "adversary_grid.json",
+        "adversary_recovery.json",
         "async_delay.json",
         "paper_battery.json",
     ]
@@ -343,8 +344,11 @@ def _strip_timing(report: dict) -> dict:
     return report
 
 
-def test_parallel_suite_report_equals_serial_report():
-    suite = load_suite("scenarios/paper_battery.json")
+@pytest.mark.parametrize(
+    "name", ["paper_battery.json", "adversary_recovery.json"]
+)
+def test_parallel_suite_report_equals_serial_report(name):
+    suite = load_suite(f"scenarios/{name}")
     serial = _strip_timing(suite.run().as_dict())
     parallel = _strip_timing(suite.run(workers=4).as_dict())
     assert parallel == serial
