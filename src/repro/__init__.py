@@ -28,6 +28,8 @@ See ``docs/api.md`` for the declarative Scenario/Sweep tour.
 from repro.agreement.byzantine import AgreementOutcome, ByzantineAgreement
 from repro.analysis.verify import VerificationReport, verify_run
 from repro.api import ResultSet, Scenario, Sweep, run_scenarios
+from repro.cache import ResultCache
+from repro.client import Client
 from repro.core.registry import available_protocols, build_processes, run_protocol
 from repro.suites import Suite, SuiteReport, load_suite
 from repro.errors import (
@@ -36,6 +38,7 @@ from repro.errors import (
     ConfigurationError,
     InvariantViolation,
     ReproError,
+    ServerError,
     SimulationStalled,
 )
 from repro.sim.congestion import CongestionBudget
@@ -52,15 +55,18 @@ __all__ = [
     "AgreementOutcome",
     "ByzantineAgreement",
     "BudgetExceeded",
+    "Client",
     "ConfigurationError",
     "CongestionBudget",
     "Engine",
     "InvariantViolation",
     "Metrics",
     "ReproError",
+    "ResultCache",
     "ResultSet",
     "RunResult",
     "Scenario",
+    "ServerError",
     "SimulationStalled",
     "Suite",
     "SuiteReport",

@@ -24,6 +24,20 @@ Subcommands:
 * ``adversaries`` - list adversary spec kinds with their required and
   optional parameters (``--json`` for machine-readable rows).
 
+* ``serve`` - run the simulation-as-a-service daemon (see
+  ``docs/serve.md``): an HTTP/JSON server that executes submitted
+  Scenario/Sweep/Suite documents and memoizes results in a
+  content-addressed cache, so duplicate submissions cost one run::
+
+      python -m repro serve --port 8123 --job-workers 4
+      python -m repro serve --cache-file cache.jsonl --cache-size 10000
+
+* ``submit`` - send scenario/sweep/suite JSON files to a running server
+  and wait for the (possibly cached) results::
+
+      python -m repro submit scenario.json --server http://127.0.0.1:8123
+      python -m repro submit scenarios/paper_battery.json --json
+
 * ``suite`` - versioned, regression-pinned scenario suites (see
   ``docs/suites.md``)::
 
@@ -211,6 +225,104 @@ def _cmd_adversaries(args) -> int:
         table.append([row["kind"], required, optional, row["summary"]])
     print(render_table(["kind", "required", "optional", "summary"], table))
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.server import ReproServer
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        cache_entries=args.cache_size,
+        cache_path=args.cache_file,
+        job_workers=args.job_workers,
+        run_workers=args.run_workers,
+    )
+    cache = server.store.cache
+    print(
+        f"repro serve listening on {server.url}  "
+        f"(job workers: {args.job_workers}, "
+        f"run workers: {args.run_workers or 'in-thread'}, "
+        f"cache: {len(cache)} entries"
+        + (f", journal {cache.path}" if cache.path else "")
+        + ")",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.client import Client
+    from repro.errors import ServerError
+
+    client = Client(args.server, timeout=args.http_timeout)
+    payloads = []
+    rows = []
+    failures = 0
+    for path in args.files:
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read document {path}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"document {path} is not valid JSON: {exc}")
+        try:
+            snapshot = client.submit(document)
+            if snapshot["status"] != "done":
+                client.wait(snapshot["job"], timeout=args.timeout)
+            final = client.job(snapshot["job"])
+        except ServerError as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+        payloads.append({"file": str(path), **final})
+        for source, result in zip(final["sources"], final["results"]):
+            metrics = result["metrics"]
+            completed = result["completed"]
+            failures += 0 if completed else 1
+            rows.append(
+                [
+                    str(path),
+                    result.get("config", {}).get("protocol", "?"),
+                    source,
+                    metrics["work"],
+                    metrics["messages"],
+                    metrics["effort"],
+                    float(metrics["rounds"]),
+                    "yes" if completed else "NO",
+                ]
+            )
+    if args.json:
+        print(json.dumps(payloads, indent=2, sort_keys=True))
+    else:
+        print(
+            render_table(
+                [
+                    "file",
+                    "protocol",
+                    "source",
+                    "work",
+                    "messages",
+                    "effort",
+                    "rounds",
+                    "completed",
+                ],
+                rows,
+            )
+        )
+        stats = payloads[-1]["cache"]
+        print(
+            f"cache: {stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['size']} entries",
+            file=sys.stderr,
+        )
+    return 0 if failures == 0 else 1
 
 
 def _cmd_suite_list(args) -> int:
@@ -449,6 +561,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit machine-readable rows instead of the table",
     )
     adv_p.set_defaults(func=_cmd_adversaries)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the HTTP simulation service (see docs/serve.md)"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_p.add_argument("--port", type=int, default=8123, help="bind port (0 = ephemeral)")
+    serve_p.add_argument(
+        "--job-workers",
+        type=int,
+        default=4,
+        help="threads executing submitted jobs concurrently",
+    )
+    serve_p.add_argument(
+        "--run-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="multiprocessing pool size per job batch (default: run "
+        "in-thread; metrics are bit-identical either way)",
+    )
+    serve_p.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU capacity of the result cache (default: unbounded)",
+    )
+    serve_p.add_argument(
+        "--cache-file",
+        default=None,
+        metavar="PATH",
+        help="append-only JSONL journal; replayed on restart so the "
+        "memo survives",
+    )
+    serve_p.set_defaults(func=_cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit", help="submit scenario/sweep/suite files to a run server"
+    )
+    submit_p.add_argument(
+        "files", nargs="+", metavar="FILE", help="scenario/sweep/suite JSON file(s)"
+    )
+    submit_p.add_argument(
+        "--server",
+        default="http://127.0.0.1:8123",
+        metavar="URL",
+        help="base URL of a running 'repro serve'",
+    )
+    submit_p.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="seconds to wait for each job to finish",
+    )
+    submit_p.add_argument(
+        "--http-timeout",
+        type=float,
+        default=30.0,
+        help="per-request HTTP timeout in seconds",
+    )
+    submit_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable job payloads instead of the table",
+    )
+    submit_p.set_defaults(func=_cmd_submit)
 
     suite_p = sub.add_parser(
         "suite", help="run, list and check versioned scenario suites"

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import copy
 import dataclasses
+import hashlib
 import json
 import multiprocessing
 import sys
@@ -212,6 +213,58 @@ class Scenario:
                     "knobs; the async budget is 'max_events'"
                 )
 
+    def validate(self) -> None:
+        """Check the cross-field constraints that :meth:`run` would hit.
+
+        Construction already validates each field; this additionally
+        resolves the engine and rejects engine-mismatched knobs (a sync
+        scenario carrying ``delay``, an async one carrying an
+        adversary), raising :class:`ConfigurationError`.  The run server
+        calls this at submission time so a bad document 400s instead of
+        failing later inside a worker.
+        """
+        self._check_engine_fields(self.resolved_engine)
+
+    # ---- content addressing ------------------------------------------
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The scenario's semantic identity as a plain dict.
+
+        Like :meth:`to_dict`, minus everything that does not affect the
+        run's metrics: the ``name`` label is dropped and ``engine:
+        "auto"`` is resolved to the concrete engine, so two spellings of
+        the same run ("auto" vs "sync", named vs anonymous, string spec
+        vs dict spec) produce the same canonical dict.  Scenarios
+        holding live adversary/delay objects are not serializable and
+        raise :class:`ConfigurationError`.
+        """
+        data = self.to_dict()
+        data.pop("name", None)
+        data["engine"] = self.resolved_engine
+        return data
+
+    def cache_key(self) -> str:
+        """SHA-256 hex digest of the canonical dict - the scenario's
+        content address.
+
+        Every run in this package is a deterministic function of its
+        canonical dict, so equal keys mean *bit-identical metrics*:
+        result caches keyed by ``cache_key()`` give exact hits (see
+        :mod:`repro.cache` and ``docs/serve.md``).
+
+        Stability contract: the key changes **only when the scenario's
+        semantics change** - same protocol, workload, specs and seed
+        always hash the same, across spelling variants and labels.
+        Conversely, a key is only comparable across package versions
+        that produce identical metrics for identical canonical dicts;
+        rebaseline persisted caches when an engine rewrite changes
+        accounting (the suite pins in ``scenarios/`` catch that).
+        """
+        payload = json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     # ---- execution ---------------------------------------------------
 
     def run(self, *, trace=None, unit_effect=None) -> RunResult:
@@ -344,16 +397,69 @@ class Scenario:
             raise ConfigurationError(
                 f"a scenario requires field(s) {sorted(missing)}"
             )
+        # Documents arrive from files and the run server's wire format,
+        # so mistyped values must come back as named ConfigurationErrors
+        # (field + offending value), never raw TypeError tracebacks.
+        for name in ("n", "t", "seed", "max_steps", "max_rounds", "max_events"):
+            value = data.get(name)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigurationError(
+                    f"scenario field {name!r} must be an integer, got {value!r}"
+                )
+        for name in ("protocol", "engine", "name"):
+            value = data.get(name)
+            if name in data and not isinstance(value, str):
+                raise ConfigurationError(
+                    f"scenario field {name!r} must be a string, got {value!r}"
+                )
+        for name in ("strict_invariants", "allow_total_failure"):
+            value = data.get(name)
+            if value is not None and not isinstance(value, bool):
+                raise ConfigurationError(
+                    f"scenario field {name!r} must be a boolean, got {value!r}"
+                )
+        if "options" in data and not isinstance(data["options"], dict):
+            raise ConfigurationError(
+                f"scenario field 'options' must be a dict, got {data['options']!r}"
+            )
+        detector = data.get("failure_detector")
+        if detector is not None:
+            if not isinstance(detector, dict):
+                raise ConfigurationError(
+                    "scenario field 'failure_detector' must be a dict, got "
+                    f"{detector!r}"
+                )
+            for key, value in detector.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise ConfigurationError(
+                        f"failure_detector field {key!r} must be a number, "
+                        f"got {value!r}"
+                    )
         kwargs = dict(data)
         if kwargs.get("crash_times") is not None:
             crash_times = kwargs["crash_times"]
             if not isinstance(crash_times, dict):
                 raise ConfigurationError(
-                    "'crash_times' must be a {pid: time} mapping"
+                    "'crash_times' must be a {pid: time} mapping, got "
+                    f"{crash_times!r}"
                 )
-            kwargs["crash_times"] = {
-                int(pid): float(when) for pid, when in crash_times.items()
-            }
+            converted: Dict[int, float] = {}
+            for pid, when in crash_times.items():
+                try:
+                    pid_int = int(pid)
+                except (TypeError, ValueError):
+                    raise ConfigurationError(
+                        f"crash_times pid {pid!r} must be an integer process id"
+                    ) from None
+                if isinstance(when, bool) or not isinstance(when, (int, float)):
+                    raise ConfigurationError(
+                        f"crash_times entry for pid {pid!r} must be a numeric "
+                        f"time, got {when!r}"
+                    )
+                converted[pid_int] = float(when)
+            kwargs["crash_times"] = converted
         return cls(**kwargs)
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -374,7 +480,13 @@ class Scenario:
 
     @classmethod
     def from_file(cls, path) -> "Scenario":
-        return cls.from_json(Path(path).read_text())
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read scenario file {path}: {exc}"
+            ) from exc
+        return cls.from_json(text)
 
     # ---- derived scenarios -------------------------------------------
 
@@ -404,21 +516,10 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
-def run_scenarios(
-    scenarios: Iterable[Scenario], *, workers: Optional[int] = None
+def _execute_scenarios(
+    scenarios: List[Scenario], *, workers: Optional[int]
 ) -> List[RunResult]:
-    """Run ``scenarios`` in order and return their results in order.
-
-    ``workers=None`` (or ``0``/``1``) runs serially in-process - the
-    deterministic fallback.  ``workers > 1`` ships each scenario to a
-    ``multiprocessing`` pool *as its dict form*; every run is a pure
-    function of that dict and its seed, so the returned metrics are
-    bit-identical to the serial path (pinned by
-    ``tests/test_suites.py``).  Scenarios holding live adversary
-    instances cannot be shipped and raise :class:`ConfigurationError` -
-    use declarative specs, or run serially.
-    """
-    scenarios = list(scenarios)
+    """The raw (cache-blind) executor behind :func:`run_scenarios`."""
     if workers is None or workers <= 1 or len(scenarios) <= 1:
         return [scenario.run() for scenario in scenarios]
     try:
@@ -430,6 +531,75 @@ def run_scenarios(
         ) from exc
     with _pool_context().Pool(min(workers, len(scenarios))) as pool:
         return pool.map(_run_scenario_payload, payloads, chunksize=1)
+
+
+def run_scenarios(
+    scenarios: Iterable[Scenario],
+    *,
+    workers: Optional[int] = None,
+    cache=None,
+) -> List[RunResult]:
+    """Run ``scenarios`` in order and return their results in order.
+
+    ``workers=None`` (or ``0``/``1``) runs serially in-process - the
+    deterministic fallback.  ``workers > 1`` ships each scenario to a
+    ``multiprocessing`` pool *as its dict form*; every run is a pure
+    function of that dict and its seed, so the returned metrics are
+    bit-identical to the serial path (pinned by
+    ``tests/test_suites.py``).  Scenarios holding live adversary
+    instances cannot be shipped and raise :class:`ConfigurationError` -
+    use declarative specs, or run serially.
+
+    ``cache`` (a :class:`repro.cache.ResultCache`) memoizes completed
+    runs by :meth:`Scenario.cache_key`: cached scenarios return without
+    executing, duplicates *within* the batch execute once, and every
+    miss is stored for the next call.  Determinism makes hits exact, so
+    results are bit-identical with or without a cache - including the
+    ``config`` echo, which always reflects the requesting scenario.
+    Scenarios holding live (unserializable) adversaries bypass the
+    cache and simply run.
+    """
+    scenarios = list(scenarios)
+    if cache is None:
+        return _execute_scenarios(scenarios, workers=workers)
+    results: List[Optional[RunResult]] = [None] * len(scenarios)
+    misses: List[int] = []
+    first_for_key: Dict[str, int] = {}
+    twin_of: Dict[int, int] = {}
+    keys: List[Optional[str]] = []
+    for index, scenario in enumerate(scenarios):
+        try:
+            key = scenario.cache_key()
+        except ConfigurationError:
+            key = None  # live adversary/delay objects: run, don't cache
+        keys.append(key)
+        if key is None:
+            misses.append(index)
+            continue
+        if key in first_for_key:
+            twin_of[index] = first_for_key[key]
+            continue
+        cached = cache.get(key)
+        if cached is not None:
+            results[index] = dataclasses.replace(
+                cached, config=scenario.to_dict()
+            )
+            continue
+        first_for_key[key] = index
+        misses.append(index)
+    if misses:
+        executed = _execute_scenarios(
+            [scenarios[index] for index in misses], workers=workers
+        )
+        for index, result in zip(misses, executed):
+            results[index] = result
+            if keys[index] is not None:
+                cache.put(keys[index], result)
+    for index, twin in twin_of.items():
+        results[index] = dataclasses.replace(
+            results[twin], config=scenarios[index].to_dict()
+        )
+    return results
 
 
 # =====================================================================
@@ -474,6 +644,29 @@ class ResultSet:
     @property
     def all_completed(self) -> bool:
         return all(result.completed for result in self.results)
+
+    # ---- combination -------------------------------------------------
+
+    @classmethod
+    def merge(cls, *result_sets: "ResultSet") -> "ResultSet":
+        """One :class:`ResultSet` holding every ``(scenario, result)``
+        pair of ``result_sets``, in argument order.
+
+        This is how client-side callers recombine results fetched in
+        pieces (several :meth:`repro.client.Client` jobs, shards of a
+        campaign) into the same aggregate object an in-process
+        :meth:`Sweep.run` returns - reducers, tables and JSON export all
+        work on the merged set.
+        """
+        entries: List[Tuple[Scenario, RunResult]] = []
+        for result_set in result_sets:
+            if not isinstance(result_set, ResultSet):
+                raise ConfigurationError(
+                    "ResultSet.merge combines ResultSet objects, got "
+                    f"{type(result_set).__name__}"
+                )
+            entries.extend(result_set.entries)
+        return cls(entries)
 
     # ---- reducers ----------------------------------------------------
 

@@ -1,0 +1,188 @@
+"""Content-addressed result cache: one run per distinct scenario.
+
+Every run in this package is a deterministic function of its scenario's
+canonical dict, so a cache keyed by :meth:`repro.api.Scenario.cache_key`
+(SHA-256 of that dict) gives **exact** hits: a cached result is
+bit-identical to re-running the scenario.  That is what makes a
+long-lived run service cheap - a million identical-config requests cost
+one execution (see ``docs/serve.md``).
+
+:class:`ResultCache` is an in-memory LRU with optional append-only JSONL
+persistence:
+
+* ``get(key)`` / ``put(key, result)`` rehydrate/serialize through the
+  lossless :meth:`~repro.sim.metrics.RunResult.to_dict` (``full=True``)
+  form, so hits return fresh :class:`~repro.sim.metrics.RunResult`
+  objects equal to what a direct run produced.  The ``config`` echo is
+  deliberately stripped before storing: it names the *submitting*
+  scenario, not the content address, and callers re-attach their own
+  (see :func:`repro.api.run_scenarios`).
+* ``hits`` / ``misses`` / ``stores`` / ``evictions`` counters are the
+  observable proof of single-execution semantics - the server surfaces
+  them in every response and the CI serve-smoke job asserts a repeat
+  submission is 100% hits.
+* With ``path=...`` every store appends one ``{"key", "result"}`` JSON
+  line; a new cache constructed on the same path replays the journal
+  (last write wins), so a restarted server keeps its memo.  The journal
+  is append-only: in-memory LRU evictions do not rewrite it, which
+  makes persistence crash-safe at the cost of the file being a superset
+  of memory.
+
+Thread-safe; the run server shares one instance across its request and
+worker threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.metrics import RunResult
+
+
+class ResultCache:
+    """LRU memo of completed runs, keyed by scenario content address."""
+
+    def __init__(self, max_entries: Optional[int] = None, path=None):
+        if max_entries is not None and (
+            isinstance(max_entries, bool)
+            or not isinstance(max_entries, int)
+            or max_entries < 1
+        ):
+            raise ConfigurationError(
+                f"cache max_entries must be a positive integer or None, "
+                f"got {max_entries!r}"
+            )
+        self.max_entries = max_entries
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.path = Path(path) if path is not None else None
+        if self.path is not None and self.path.exists():
+            self._replay_journal()
+
+    # ---- persistence -------------------------------------------------
+
+    def _replay_journal(self) -> None:
+        for lineno, line in enumerate(
+            self.path.read_text().splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"cache journal {self.path} line {lineno} is not valid "
+                    f"JSON: {exc}"
+                ) from exc
+            if (
+                not isinstance(record, dict)
+                or not isinstance(record.get("key"), str)
+                or not isinstance(record.get("result"), dict)
+            ):
+                raise ConfigurationError(
+                    f"cache journal {self.path} line {lineno} must hold "
+                    f"{{'key': str, 'result': dict}}, got {record!r}"
+                )
+            self._insert(record["key"], record["result"])
+
+    def _append_journal(self, key: str, payload: Dict[str, Any]) -> None:
+        if self.path is None:
+            return
+        line = json.dumps(
+            {"key": key, "result": payload}, sort_keys=True
+        )
+        with self.path.open("a") as handle:
+            handle.write(line + "\n")
+
+    # ---- core map ----------------------------------------------------
+
+    def _insert(self, key: str, payload: Dict[str, Any]) -> None:
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key`` as a fresh :class:`RunResult`
+        (``config`` is ``None`` - attach the requester's echo), or
+        ``None``.  Counts one hit or miss."""
+        payload = self.get_payload(key)
+        if payload is None:
+            return None
+        return RunResult.from_dict(payload)
+
+    def get_payload(self, key: str) -> Optional[Dict[str, Any]]:
+        """Like :meth:`get` but returns the stored wire dict (treat it
+        as read-only); this is what the server serializes back out
+        without a rehydrate/re-serialize round-trip."""
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return payload
+
+    def peek(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored wire dict without touching counters or LRU order
+        (the ``GET /results/<key>`` endpoint, stats tooling)."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: str, result: RunResult) -> Dict[str, Any]:
+        """Store ``result`` under ``key`` and return the stored payload
+        (lossless form, ``config`` stripped)."""
+        if not isinstance(key, str) or not key:
+            raise ConfigurationError(
+                f"cache keys are Scenario.cache_key() strings, got {key!r}"
+            )
+        payload = result.to_dict(full=True)
+        payload.pop("config", None)
+        with self._lock:
+            self._insert(key, payload)
+            self.stores += 1
+            self._append_journal(key, payload)
+        return payload
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        """Drop the in-memory entries (the journal, if any, is kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ---- observability -----------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot: the proof that duplicates cost one run."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "path": str(self.path) if self.path is not None else None,
+            }
+
+
+__all__ = ["ResultCache"]

@@ -1,0 +1,198 @@
+"""Client API for the ``repro serve`` run server.
+
+Stdlib-only (``urllib``).  The client speaks the wire format documented
+in ``docs/serve.md`` and rehydrates every served result through
+:meth:`~repro.sim.metrics.RunResult.from_dict`, so remote callers get
+the *same objects* in-process callers do - bit-identical metrics, same
+``config`` echo, same error taxonomy::
+
+    from repro import Client, Scenario
+
+    client = Client("http://127.0.0.1:8123")
+    result = client.run(Scenario(protocol="D", n=256, t=16, seed=1))
+    assert result == Scenario(protocol="D", n=256, t=16, seed=1).run()
+
+Errors: HTTP 400 re-raises as :class:`~repro.errors.ConfigurationError`
+with the server's message (which names the offending field and value);
+transport failures, timeouts and 5xx raise
+:class:`~repro.errors.ServerError`.  A job that *failed on the server*
+re-raises its recorded error type the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Union
+
+from repro.api import ResultSet, Scenario, Sweep
+from repro.errors import ConfigurationError, ServerError
+from repro.sim.metrics import RunResult
+from repro.suites import Suite
+
+#: Anything :meth:`Client.submit` accepts.
+Document = Union[Scenario, Sweep, Suite, Dict[str, Any]]
+
+_DEFAULT_POLL_SECONDS = 0.05
+_LONG_POLL_SECONDS = 10.0
+
+
+def _wire_document(document: Document) -> Dict[str, Any]:
+    """Normalize ``document`` to the server's one-key wire form."""
+    if isinstance(document, Scenario):
+        return {"scenario": document.to_dict()}
+    if isinstance(document, Sweep):
+        return {"sweep": document.to_dict()}
+    if isinstance(document, Suite):
+        return {"suite": document.to_dict()}
+    if not isinstance(document, dict):
+        raise ConfigurationError(
+            "a submission must be a Scenario, Sweep, Suite or dict, got "
+            f"{type(document).__name__}"
+        )
+    # A bare Suite dict spells its *name* under "suite"; the wire format
+    # nests the whole dict there instead - disambiguate by value type.
+    if isinstance(document.get("suite"), str):
+        return {"suite": document}
+    if any(key in document for key in ("scenario", "sweep", "suite", "scenarios")):
+        return document
+    if "base" in document:
+        return {"sweep": document}
+    return {"scenario": document}
+
+
+class Client:
+    """HTTP client for one run server; see the module docstring."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ---- transport ---------------------------------------------------
+
+    def _request(
+        self, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        url = self.base_url + path
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            self._raise_http_error(exc)
+        except urllib.error.URLError as exc:
+            raise ServerError(
+                f"cannot reach repro server at {self.base_url}: {exc.reason}"
+            ) from exc
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ServerError(
+                f"repro server at {self.base_url} sent a non-JSON response: {exc}"
+            ) from exc
+
+    def _raise_http_error(self, exc: urllib.error.HTTPError) -> None:
+        try:
+            error = json.loads(exc.read().decode("utf-8")).get("error", {})
+        except Exception:
+            error = {}
+        message = error.get("message") or f"HTTP {exc.code}"
+        if exc.code == 400 and error.get("type") == "ConfigurationError":
+            raise ConfigurationError(message) from exc
+        raise ServerError(f"server returned HTTP {exc.code}: {message}") from exc
+
+    # ---- the job protocol --------------------------------------------
+
+    def submit(self, document: Document) -> Dict[str, Any]:
+        """POST one document; returns the server's job snapshot
+        (``job``, ``status``, ``keys``, ``sources``, plus inlined
+        ``results`` when everything was already cached)."""
+        return self._request("/jobs", _wire_document(document))
+
+    def job(self, job_id: str, *, wait: Optional[float] = None) -> Dict[str, Any]:
+        """Poll one job; ``wait`` long-polls server-side."""
+        path = f"/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait:g}"
+        return self._request(path)
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 300.0,
+        poll: float = _DEFAULT_POLL_SECONDS,
+    ) -> List[RunResult]:
+        """Block until ``job_id`` finishes; rehydrated results in
+        submission order.  A failed job re-raises the server-side error
+        (``ConfigurationError`` stays a ``ConfigurationError``)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServerError(
+                    f"timed out after {timeout:g}s waiting for job {job_id}"
+                )
+            snapshot = self.job(
+                job_id, wait=min(_LONG_POLL_SECONDS, max(poll, remaining))
+            )
+            status = snapshot["status"]
+            if status == "done":
+                return [
+                    RunResult.from_dict(result) for result in snapshot["results"]
+                ]
+            if status == "failed":
+                error = snapshot.get("error") or {}
+                message = error.get("message", "unknown server-side failure")
+                if error.get("type") == "ConfigurationError":
+                    raise ConfigurationError(message)
+                raise ServerError(
+                    f"job {job_id} failed on the server: "
+                    f"{error.get('type', 'Error')}: {message}"
+                )
+            time.sleep(poll)
+
+    def _submit_and_wait(
+        self, document: Document, timeout: float
+    ) -> List[RunResult]:
+        snapshot = self.submit(document)
+        if snapshot["status"] == "done":
+            return [RunResult.from_dict(result) for result in snapshot["results"]]
+        return self.wait(snapshot["job"], timeout=timeout)
+
+    # ---- convenience surface -----------------------------------------
+
+    def run(self, scenario: Scenario, *, timeout: float = 300.0) -> RunResult:
+        """Submit one scenario and block for its result - the remote
+        equivalent of :meth:`Scenario.run`, bit-identical metrics and
+        config echo included."""
+        return self._submit_and_wait(scenario, timeout)[0]
+
+    def run_sweep(self, sweep: Sweep, *, timeout: float = 300.0) -> ResultSet:
+        """Submit a sweep and aggregate the served results into the same
+        :class:`ResultSet` an in-process :meth:`Sweep.run` returns."""
+        scenarios = list(sweep.scenarios())
+        results = self._submit_and_wait(sweep, timeout)
+        return ResultSet(list(zip(scenarios, results)))
+
+    def result(self, key: str) -> RunResult:
+        """Fetch the cached result for one
+        :meth:`~repro.api.Scenario.cache_key` content address."""
+        payload = self._request(f"/results/{key}")
+        return RunResult.from_dict(payload["result"])
+
+    def stats(self) -> Dict[str, Any]:
+        """Server job/cache counters (hits, misses, executions, ...)."""
+        return self._request("/stats")
+
+    def about(self) -> Dict[str, Any]:
+        """The service manifest: version, protocols, endpoints."""
+        return self._request("/")
+
+
+__all__ = ["Client", "Document"]

@@ -42,3 +42,14 @@ class BudgetExceeded(ReproError):
 class AdversaryError(ReproError):
     """An adversary issued an illegal directive (e.g. crashing more than
     ``t - 1`` processes when a survivor is required)."""
+
+
+class ServerError(ReproError):
+    """The run server misbehaved or is unreachable.
+
+    Raised by :class:`repro.client.Client` for transport failures, 5xx
+    responses and protocol violations.  Configuration mistakes (HTTP
+    400) re-raise as :class:`ConfigurationError` with the server's
+    message, so remote submission surfaces the same taxonomy as
+    in-process :meth:`repro.api.Scenario.run`.
+    """

@@ -1,0 +1,272 @@
+"""The HTTP face of simulation-as-a-service: routing + wire format.
+
+Stdlib only (``http.server`` + JSON); see ``docs/serve.md`` for the
+full wire-format reference.  Endpoints:
+
+* ``POST /jobs`` - submit a job document (``{"scenario": ...}``,
+  ``{"sweep": ...}``, ``{"suite": ...}`` or ``{"scenarios": [...]}``).
+  Returns the job snapshot; results are inlined when every slot was
+  already cached.
+* ``GET /jobs/<id>`` - poll one job (``?wait=SECONDS`` long-polls up to
+  :data:`MAX_WAIT_SECONDS`).  Done jobs carry ``results`` in submission
+  order.
+* ``GET /results/<key>`` - the cached result for one
+  :meth:`~repro.api.Scenario.cache_key` content address.
+* ``GET /stats`` - job/cache counters (hits, misses, executions,
+  coalesced - the single-execution proof).
+* ``GET /`` - service manifest (version, protocols, endpoints).
+
+Errors are JSON ``{"error": {"type", "message"}}``: configuration
+mistakes are HTTP 400 with the package's own
+:class:`~repro.errors.ConfigurationError` message (field and value
+named), unknown routes/ids are 404, anything unexpected is 500.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qs, urlsplit
+
+import repro
+from repro.cache import ResultCache
+from repro.core.registry import available_protocols
+from repro.errors import ConfigurationError
+from repro.server.jobs import JobStore, scenarios_from_document
+
+#: Ceiling on ``?wait=`` long-polls, so a stuck client cannot pin a
+#: handler thread forever.
+MAX_WAIT_SECONDS = 30.0
+
+#: Submission documents larger than this are rejected outright.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _ThreadingServer(ThreadingHTTPServer):
+    daemon_threads = True
+    # Concurrent duplicate submissions arrive in bursts; the default
+    # accept backlog of 5 drops connections under load.
+    request_queue_size = 128
+
+
+def _make_handler(store: JobStore):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = f"repro-serve/{repro.__version__}"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            pass  # request logging is the CLI's choice, not the handler's
+
+        # ---- plumbing ------------------------------------------------
+
+        def _send(self, code: int, payload: Dict[str, Any]) -> None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _error(self, code: int, type_name: str, message: str) -> None:
+            self._send(code, {"error": {"type": type_name, "message": message}})
+
+        def _read_document(self) -> Optional[Any]:
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+            except ValueError:
+                self._error(400, "ConfigurationError", "bad Content-Length header")
+                return None
+            if length <= 0:
+                self._error(
+                    400, "ConfigurationError",
+                    "a job submission needs a JSON body",
+                )
+                return None
+            if length > MAX_BODY_BYTES:
+                self._error(
+                    413, "ConfigurationError",
+                    f"job document of {length} bytes exceeds the "
+                    f"{MAX_BODY_BYTES}-byte limit",
+                )
+                return None
+            raw = self.rfile.read(length)
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                self._error(
+                    400, "ConfigurationError",
+                    f"job document does not parse as JSON: {exc}",
+                )
+                return None
+
+        # ---- routes --------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+            try:
+                url = urlsplit(self.path)
+                parts = [part for part in url.path.split("/") if part]
+                if not parts or parts == ["about"]:
+                    self._send(200, _manifest())
+                elif parts == ["stats"]:
+                    self._send(200, store.stats())
+                elif len(parts) == 2 and parts[0] == "jobs":
+                    self._get_job(parts[1], url.query)
+                elif len(parts) == 2 and parts[0] == "results":
+                    self._get_result(parts[1])
+                else:
+                    self._error(404, "NotFound", f"unknown path {url.path!r}")
+            except BrokenPipeError:
+                pass  # client hung up mid-response
+            except Exception as exc:  # never leak a traceback to the wire
+                self._error(500, type(exc).__name__, str(exc))
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+            try:
+                url = urlsplit(self.path)
+                if url.path.rstrip("/") != "/jobs":
+                    self._error(404, "NotFound", f"unknown path {url.path!r}")
+                    return
+                document = self._read_document()
+                if document is None:
+                    return
+                try:
+                    kind, scenarios = scenarios_from_document(document)
+                    job = store.submit(scenarios, kind=kind)
+                except ConfigurationError as exc:
+                    self._error(400, "ConfigurationError", str(exc))
+                    return
+                payload = job.as_dict()
+                payload["cache"] = store.cache.stats()
+                self._send(200, payload)
+            except BrokenPipeError:
+                pass
+            except Exception as exc:
+                self._error(500, type(exc).__name__, str(exc))
+
+        def _get_job(self, job_id: str, query: str) -> None:
+            job = store.get(job_id)
+            if job is None:
+                self._error(404, "NotFound", f"no job {job_id!r}")
+                return
+            wait_values = parse_qs(query).get("wait")
+            if wait_values:
+                try:
+                    wait = float(wait_values[-1])
+                except ValueError:
+                    self._error(
+                        400, "ConfigurationError",
+                        f"'wait' must be a number of seconds, got "
+                        f"{wait_values[-1]!r}",
+                    )
+                    return
+                job.wait(min(max(wait, 0.0), MAX_WAIT_SECONDS))
+            payload = job.as_dict()
+            payload["cache"] = store.cache.stats()
+            self._send(200, payload)
+
+        def _get_result(self, key: str) -> None:
+            payload = store.cache.peek(key)
+            if payload is None:
+                self._error(404, "NotFound", f"no cached result for key {key!r}")
+                return
+            self._send(200, {"key": key, "result": payload})
+
+    def _manifest() -> Dict[str, Any]:
+        return {
+            "service": "repro-serve",
+            "version": repro.__version__,
+            "protocols": available_protocols(),
+            "endpoints": [
+                "POST /jobs",
+                "GET /jobs/<id>[?wait=SECONDS]",
+                "GET /results/<cache-key>",
+                "GET /stats",
+            ],
+        }
+
+    return Handler
+
+
+class ReproServer:
+    """A live ``repro serve`` instance: threading HTTP server + job store.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`url` reports the
+    concrete address either way.  ``start()`` serves from a daemon
+    thread (in-process use), ``serve_forever()`` blocks (the CLI).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        cache: Optional[ResultCache] = None,
+        cache_entries: Optional[int] = None,
+        cache_path=None,
+        job_workers: int = 4,
+        run_workers: Optional[int] = None,
+    ):
+        if cache is None:
+            cache = ResultCache(max_entries=cache_entries, path=cache_path)
+        self.store = JobStore(
+            cache=cache, job_workers=job_workers, run_workers=run_workers
+        )
+        try:
+            self._http = _ThreadingServer((host, port), _make_handler(self.store))
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot bind repro serve to {host}:{port}: {exc}"
+            ) from exc
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ReproServer":
+        """Serve from a background daemon thread; returns self."""
+        self._thread = threading.Thread(
+            target=self._http.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._http.serve_forever()
+
+    def shutdown(self) -> None:
+        self._http.shutdown()
+        self._http.server_close()
+        self.store.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8123,
+    **kwargs,
+) -> ReproServer:
+    """Construct a :class:`ReproServer` (not yet serving); the CLI's
+    entry point."""
+    return ReproServer(host, port, **kwargs)
+
+
+__all__ = ["MAX_WAIT_SECONDS", "ReproServer", "serve"]

@@ -1,0 +1,338 @@
+"""Job queue for the run server: submissions, dedup, execution.
+
+A *job* is one submitted document (scenario, sweep, suite, or explicit
+scenario list) expanded into an ordered list of scenario *slots*.  Each
+slot resolves from exactly one of three sources:
+
+* ``cache`` - the content-addressed :class:`~repro.cache.ResultCache`
+  already holds the key (counted as a cache hit);
+* ``coalesced`` - another job is *currently executing* the same key, so
+  this slot subscribes to that in-flight execution instead of running
+  again (the ``coalesced`` counter is the duplicate-submission proof:
+  thousands of concurrent identical submissions resolve to one run);
+* ``run`` - this job claims the key and executes it on the store's
+  worker pool via :func:`repro.api.run_scenarios` (counted as a cache
+  miss, then stored).
+
+Job states are ``submitted`` (queued, nothing started), ``running``,
+``done`` and ``failed``.  Results are served in submission order as
+lossless :meth:`~repro.sim.metrics.RunResult.to_dict` (``full=True``)
+payloads with the *submitting* scenario echoed as ``config`` - so a
+served result is bit-identical to what ``Scenario.run()`` returns
+in-process, hit or miss.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api import Scenario, Sweep, run_scenarios
+from repro.cache import ResultCache
+from repro.errors import ConfigurationError
+from repro.suites import Suite
+
+JOB_STATES = ("submitted", "running", "done", "failed")
+
+#: Top-level keys a job document may use, exactly one per submission.
+DOCUMENT_KINDS = ("scenario", "sweep", "suite", "scenarios")
+
+
+def scenarios_from_document(document: Any) -> Tuple[str, List[Scenario]]:
+    """``(kind, scenarios)`` from a wire document.
+
+    The wire format is one dict holding exactly one of ``scenario`` (a
+    Scenario dict), ``sweep`` (a Sweep dict, expanded to its grid),
+    ``suite`` (a Suite dict, expanded to every entry's runs; pins are
+    ignored - the server executes, it does not referee), or
+    ``scenarios`` (an explicit non-empty list of Scenario dicts).
+    Malformed documents raise :class:`ConfigurationError` naming the
+    offending field and value - the server maps that to HTTP 400.
+    """
+    if not isinstance(document, dict):
+        raise ConfigurationError(
+            f"a job document must be a dict, got {type(document).__name__}"
+        )
+    kinds = [kind for kind in DOCUMENT_KINDS if kind in document]
+    if len(kinds) != 1:
+        raise ConfigurationError(
+            "a job document must hold exactly one of "
+            + ", ".join(repr(kind) for kind in DOCUMENT_KINDS)
+            + (f"; got field(s) {sorted(document)}" if document else "; got an empty dict")
+        )
+    kind = kinds[0]
+    extra = set(document) - {kind}
+    if extra:
+        raise ConfigurationError(
+            f"unknown job document field(s) {sorted(extra)} alongside {kind!r}"
+        )
+    if kind == "scenario":
+        return kind, [Scenario.from_dict(document["scenario"])]
+    if kind == "sweep":
+        return kind, list(Sweep.from_dict(document["sweep"]).scenarios())
+    if kind == "scenarios":
+        raw = document["scenarios"]
+        if not isinstance(raw, list) or not raw:
+            raise ConfigurationError(
+                f"'scenarios' must be a non-empty list of scenario dicts, "
+                f"got {raw!r}"
+            )
+        return kind, [Scenario.from_dict(item) for item in raw]
+    suite = Suite.from_dict(document["suite"])
+    return kind, [
+        scenario for entry in suite.entries for scenario in entry.scenarios()
+    ]
+
+
+class _Execution:
+    """One in-flight run of a distinct cache key; duplicates subscribe."""
+
+    __slots__ = ("key", "scenario", "event", "started", "payload", "error_type", "error")
+
+    def __init__(self, key: str, scenario: Scenario):
+        self.key = key
+        self.scenario = scenario
+        self.event = threading.Event()
+        self.started = False
+        self.payload: Optional[Dict[str, Any]] = None
+        self.error_type: Optional[str] = None
+        self.error: Optional[str] = None
+
+
+@dataclass
+class _Slot:
+    """One scenario position of a job and how it resolves."""
+
+    scenario: Scenario
+    key: str
+    source: str  # "cache" | "run" | "coalesced"
+    payload: Optional[Dict[str, Any]] = None
+    execution: Optional[_Execution] = None
+
+    def result_payload(self) -> Optional[Dict[str, Any]]:
+        if self.payload is not None:
+            return self.payload
+        if self.execution is not None:
+            return self.execution.payload
+        return None
+
+
+@dataclass
+class Job:
+    """One submitted document, tracked through to its results."""
+
+    id: str
+    kind: str
+    slots: List[_Slot] = field(default_factory=list)
+
+    @property
+    def error(self) -> Optional[Tuple[str, str]]:
+        """``(type name, message)`` of the first failed execution."""
+        for slot in self.slots:
+            execution = slot.execution
+            if execution is not None and execution.error is not None:
+                return execution.error_type, execution.error
+        return None
+
+    @property
+    def status(self) -> str:
+        if self.error is not None:
+            return "failed"
+        if all(slot.result_payload() is not None for slot in self.slots):
+            return "done"
+        if any(
+            slot.execution is not None and slot.execution.started
+            for slot in self.slots
+        ):
+            return "running"
+        return "submitted"
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until every slot resolves (or fails); ``False`` on
+        timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for slot in self.slots:
+            if slot.execution is None:
+                continue
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            if not slot.execution.event.wait(remaining):
+                return False
+        return True
+
+    def as_dict(self, *, results: bool = True) -> Dict[str, Any]:
+        status = self.status
+        payload: Dict[str, Any] = {
+            "job": self.id,
+            "kind": self.kind,
+            "status": status,
+            "runs": len(self.slots),
+            "keys": [slot.key for slot in self.slots],
+            "sources": [slot.source for slot in self.slots],
+        }
+        if status == "failed":
+            error_type, message = self.error
+            payload["error"] = {"type": error_type, "message": message}
+        if results and status == "done":
+            payload["results"] = [
+                # Hit or miss, the served result echoes the *submitting*
+                # scenario - exactly what Scenario.run() would have set.
+                {**slot.result_payload(), "config": slot.scenario.to_dict()}
+                for slot in self.slots
+            ]
+        return payload
+
+
+class JobStore:
+    """Submission front end: dedup against the cache and in-flight runs,
+    execute the rest on a worker pool."""
+
+    def __init__(
+        self,
+        *,
+        cache: Optional[ResultCache] = None,
+        job_workers: int = 4,
+        run_workers: Optional[int] = None,
+        max_jobs: int = 10_000,
+    ):
+        if isinstance(job_workers, bool) or not isinstance(job_workers, int) or job_workers < 1:
+            raise ConfigurationError(
+                f"job_workers must be a positive integer, got {job_workers!r}"
+            )
+        if run_workers is not None and (
+            isinstance(run_workers, bool)
+            or not isinstance(run_workers, int)
+            or run_workers < 1
+        ):
+            raise ConfigurationError(
+                f"run_workers must be a positive integer or None, got {run_workers!r}"
+            )
+        self.cache = cache if cache is not None else ResultCache()
+        self.run_workers = run_workers
+        self.max_jobs = max_jobs
+        self._executor = ThreadPoolExecutor(
+            max_workers=job_workers, thread_name_prefix="repro-job"
+        )
+        self._lock = threading.Lock()
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._inflight: Dict[str, _Execution] = {}
+        self._counter = 0
+        self.submitted = 0     # documents accepted
+        self.executions = 0    # scenario runs actually executed
+        self.coalesced = 0     # slots attached to an in-flight duplicate
+
+    # ---- submission --------------------------------------------------
+
+    def submit(self, scenarios: List[Scenario], *, kind: str = "scenario") -> Job:
+        """Register one job; claim un-cached, un-inflight keys and hand
+        them to the worker pool.  Returns immediately."""
+        for scenario in scenarios:
+            scenario.validate()  # 400 now, not a failed job later
+        claimed: List[_Execution] = []
+        with self._lock:
+            self._counter += 1
+            self.submitted += 1
+            job = Job(id=f"j-{self._counter:06d}", kind=kind)
+            for scenario in scenarios:
+                key = scenario.cache_key()
+                execution = self._inflight.get(key)
+                if execution is not None:
+                    self.coalesced += 1
+                    job.slots.append(
+                        _Slot(scenario, key, "coalesced", execution=execution)
+                    )
+                    continue
+                payload = self.cache.get_payload(key)
+                if payload is not None:
+                    job.slots.append(
+                        _Slot(scenario, key, "cache", payload=payload)
+                    )
+                    continue
+                execution = _Execution(key, scenario)
+                self._inflight[key] = execution
+                claimed.append(execution)
+                job.slots.append(
+                    _Slot(scenario, key, "run", execution=execution)
+                )
+            self._jobs[job.id] = job
+            self._evict_done_jobs()
+        if claimed:
+            self._executor.submit(self._run_batch, claimed)
+        return job
+
+    def _evict_done_jobs(self) -> None:
+        # Called under the lock.  Drop the oldest finished jobs beyond
+        # the cap; running jobs are never evicted.
+        if len(self._jobs) <= self.max_jobs:
+            return
+        for job_id in list(self._jobs):
+            if len(self._jobs) <= self.max_jobs:
+                break
+            if self._jobs[job_id].status in ("done", "failed"):
+                del self._jobs[job_id]
+
+    # ---- execution ---------------------------------------------------
+
+    def _run_batch(self, claimed: List[_Execution]) -> None:
+        for execution in claimed:
+            execution.started = True
+        scenarios = [execution.scenario for execution in claimed]
+        try:
+            results = run_scenarios(scenarios, workers=self.run_workers)
+        except Exception as exc:
+            # One engine error fails the whole claimed batch: the keys
+            # stay un-cached and a resubmission re-executes them.
+            with self._lock:
+                for execution in claimed:
+                    self._inflight.pop(execution.key, None)
+            for execution in claimed:
+                execution.error_type = type(exc).__name__
+                execution.error = str(exc)
+                execution.event.set()
+            return
+        with self._lock:
+            self.executions += len(claimed)
+        for execution, result in zip(claimed, results):
+            payload = self.cache.put(execution.key, result)
+            execution.payload = payload
+            with self._lock:
+                self._inflight.pop(execution.key, None)
+            execution.event.set()
+
+    # ---- lookup ------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            by_status = Counter(job.status for job in self._jobs.values())
+            return {
+                "jobs": {
+                    "submitted": self.submitted,
+                    "tracked": len(self._jobs),
+                    "by_status": dict(sorted(by_status.items())),
+                },
+                "executions": self.executions,
+                "coalesced": self.coalesced,
+                "inflight": len(self._inflight),
+                "cache": self.cache.stats(),
+            }
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
+__all__ = [
+    "DOCUMENT_KINDS",
+    "JOB_STATES",
+    "Job",
+    "JobStore",
+    "scenarios_from_document",
+]

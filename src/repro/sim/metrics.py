@@ -14,6 +14,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.errors import ConfigurationError
 from repro.sim.actions import Envelope, MessageKind
 
 
@@ -124,9 +125,16 @@ class Metrics:
     def messages_of(self, kind: MessageKind) -> int:
         return self.messages_by_kind.get(kind, 0)
 
-    def as_dict(self) -> Dict[str, object]:
-        """Flat summary used by tables, benches and EXPERIMENTS.md."""
-        return {
+    def as_dict(self, *, full: bool = False) -> Dict[str, object]:
+        """Flat summary used by tables, benches and EXPERIMENTS.md.
+
+        ``full=True`` additionally emits the per-unit/per-process
+        breakdown counters and the last-event round, making the dict
+        *lossless*: :meth:`from_dict` rebuilds an equal :class:`Metrics`
+        from it.  The default summary form is unchanged (and one-way) -
+        it is what tables, ``--json`` and the benchmarks print.
+        """
+        data: Dict[str, object] = {
             "work": self.work_total,
             "messages": self.messages_total,
             "effort": self.effort,
@@ -140,6 +148,140 @@ class Metrics:
                 kind.value: count for kind, count in sorted(self.messages_by_kind.items())
             },
         }
+        if full:
+            data["last_event_round"] = self.rounds
+            data["work_by_unit"] = {
+                str(unit): count for unit, count in sorted(self.work_by_unit.items())
+            }
+            data["work_by_process"] = {
+                str(pid): count for pid, count in sorted(self.work_by_process.items())
+            }
+            data["messages_by_process"] = {
+                str(pid): count
+                for pid, count in sorted(self.messages_by_process.items())
+            }
+        return data
+
+    #: Fields :meth:`from_dict` requires - exactly what ``as_dict(full=True)``
+    #: adds on top of the scalar summary.
+    _FULL_FIELDS = (
+        "work",
+        "messages",
+        "rounds",
+        "crashes",
+        "recoveries",
+        "activations",
+        "available_processor_steps",
+        "messages_by_kind",
+        "last_event_round",
+        "work_by_unit",
+        "work_by_process",
+        "messages_by_process",
+    )
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Metrics":
+        """Rebuild a :class:`Metrics` from ``as_dict(full=True)`` output.
+
+        The summary form (``full=False``) is rejected: it drops the
+        per-unit/per-process counters, so rehydrating it could not
+        produce an object equal to the original.  Malformed payloads
+        raise :class:`ConfigurationError` naming the offending field and
+        value; breakdown sums are checked against the stated totals
+        (content-addressed caches should notice corrupted payloads).
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"a metrics payload must be a dict, got {type(data).__name__}"
+            )
+        missing = [name for name in cls._FULL_FIELDS if name not in data]
+        if missing:
+            raise ConfigurationError(
+                f"metrics payload lacks field(s) {missing}; rehydration needs "
+                "the lossless form written by as_dict(full=True) / "
+                "RunResult.to_dict(full=True)"
+            )
+
+        def scalar(name: str) -> int:
+            value = data[name]
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigurationError(
+                    f"metrics field {name!r} must be an integer, got {value!r}"
+                )
+            return value
+
+        def counter(name: str) -> Counter:
+            raw = data[name]
+            if not isinstance(raw, dict):
+                raise ConfigurationError(
+                    f"metrics field {name!r} must be a mapping, got {raw!r}"
+                )
+            rebuilt: Counter = Counter()
+            for key, value in raw.items():
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise ConfigurationError(
+                        f"metrics field {name!r} entry {key!r} must map to an "
+                        f"integer, got {value!r}"
+                    )
+                try:
+                    rebuilt[int(key)] = value
+                except (TypeError, ValueError):
+                    raise ConfigurationError(
+                        f"metrics field {name!r} key {key!r} is not an integer "
+                        "process/unit id"
+                    ) from None
+            return rebuilt
+
+        kinds_raw = data["messages_by_kind"]
+        if not isinstance(kinds_raw, dict):
+            raise ConfigurationError(
+                f"metrics field 'messages_by_kind' must be a mapping, got "
+                f"{kinds_raw!r}"
+            )
+        messages_by_kind: Counter = Counter()
+        for kind, count in kinds_raw.items():
+            try:
+                resolved = MessageKind(kind)
+            except ValueError:
+                raise ConfigurationError(
+                    f"metrics field 'messages_by_kind' names unknown message "
+                    f"kind {kind!r}; accepted: "
+                    + ", ".join(k.value for k in MessageKind)
+                ) from None
+            if isinstance(count, bool) or not isinstance(count, int):
+                raise ConfigurationError(
+                    f"metrics field 'messages_by_kind' entry {kind!r} must map "
+                    f"to an integer, got {count!r}"
+                )
+            messages_by_kind[resolved] = count
+
+        metrics = cls(
+            work_total=scalar("work"),
+            messages_total=scalar("messages"),
+            work_by_unit=counter("work_by_unit"),
+            work_by_process=counter("work_by_process"),
+            messages_by_kind=messages_by_kind,
+            messages_by_process=counter("messages_by_process"),
+            crashes=scalar("crashes"),
+            recoveries=scalar("recoveries"),
+            rounds=scalar("last_event_round"),
+            retire_round=scalar("rounds"),
+            activations=scalar("activations"),
+            available_processor_steps=scalar("available_processor_steps"),
+        )
+        for name, total, breakdown in (
+            ("work_by_unit", metrics.work_total, metrics.work_by_unit),
+            ("work_by_process", metrics.work_total, metrics.work_by_process),
+            ("messages_by_process", metrics.messages_total, metrics.messages_by_process),
+        ):
+            observed = sum(breakdown.values())
+            if observed != total:
+                raise ConfigurationError(
+                    f"metrics field {name!r} sums to {observed}, but the "
+                    f"payload states a total of {total}; the payload is "
+                    "corrupt"
+                )
+        return metrics
 
 
 @dataclass(frozen=True)
@@ -179,21 +321,95 @@ class RunResult:
         )
         return data
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self, *, full: bool = False) -> Dict[str, object]:
         """JSON-compatible report: completion, accounting, config echo.
 
         This is what ``python -m repro run --json`` prints and what the
         benchmark/CI tooling consumes instead of scraping tables.
+
+        ``full=True`` switches the embedded metrics to their lossless
+        form (see :meth:`Metrics.as_dict`), which is what
+        :meth:`from_dict` rehydrates and what the run server's result
+        cache stores - ``RunResult.from_dict(result.to_dict(full=True))
+        == result``.
         """
         payload: Dict[str, object] = {
             "completed": self.completed,
             "survivors": self.survivors,
             "halted": self.halted,
             "stalled": self.stalled,
-            "metrics": self.metrics.as_dict(),
+            "metrics": self.metrics.as_dict(full=full),
         }
         if self.note is not None:
             payload["note"] = self.note
         if self.config is not None:
             payload["config"] = self.config
         return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        """Rebuild a :class:`RunResult` from ``to_dict(full=True)`` output.
+
+        This is how results served over the wire (``repro serve``, the
+        content-addressed cache) rehydrate into the same object an
+        in-process :meth:`repro.api.Scenario.run` caller gets.
+        Malformed payloads raise :class:`ConfigurationError` naming the
+        offending field and value.
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"a run-result payload must be a dict, got {type(data).__name__}"
+            )
+        known = {
+            "completed", "survivors", "halted", "stalled",
+            "metrics", "note", "config",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown run-result field(s) {sorted(unknown)}; accepted: "
+                + ", ".join(sorted(known))
+            )
+        missing = {"completed", "survivors", "halted", "metrics"} - set(data)
+        if missing:
+            raise ConfigurationError(
+                f"a run-result payload requires field(s) {sorted(missing)}"
+            )
+        for name in ("completed", "stalled"):
+            value = data.get(name, False)
+            if not isinstance(value, bool):
+                raise ConfigurationError(
+                    f"run-result field {name!r} must be a boolean, got {value!r}"
+                )
+        for name in ("survivors", "halted"):
+            value = data[name]
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigurationError(
+                    f"run-result field {name!r} must be an integer, got {value!r}"
+                )
+        note = data.get("note")
+        if note is not None and not isinstance(note, str):
+            raise ConfigurationError(
+                f"run-result field 'note' must be a string, got {note!r}"
+            )
+        config = data.get("config")
+        if config is not None:
+            if not isinstance(config, dict):
+                raise ConfigurationError(
+                    f"run-result field 'config' must be a dict, got {config!r}"
+                )
+            # JSON stringifies int dict keys (e.g. crash_times pids); a
+            # round trip through Scenario restores the native shape so
+            # rehydrated results compare equal to in-process ones.
+            from repro.api import Scenario
+
+            config = Scenario.from_dict(config).to_dict()
+        return cls(
+            completed=data["completed"],
+            survivors=data["survivors"],
+            halted=data["halted"],
+            metrics=Metrics.from_dict(data["metrics"]),
+            stalled=data.get("stalled", False),
+            note=note,
+            config=config,
+        )

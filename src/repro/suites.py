@@ -312,7 +312,7 @@ class Suite:
 
     # ---- execution ---------------------------------------------------
 
-    def run(self, *, workers: Optional[int] = None) -> "SuiteReport":
+    def run(self, *, workers: Optional[int] = None, cache=None) -> "SuiteReport":
         """Execute every entry and compare observations against pins.
 
         Entries execute in order, each through its own
@@ -321,13 +321,18 @@ class Suite:
         and the per-entry wall-clock ``seconds`` column well defined.
         Metrics are bit-identical at any worker count; only wall clock
         varies.
+
+        ``cache`` (a :class:`repro.cache.ResultCache`) memoizes runs by
+        :meth:`~repro.api.Scenario.cache_key` across entries and across
+        repeated suite runs; determinism makes hits exact, so reports
+        and pin verdicts are bit-identical with or without it.
         """
         reports = []
         for entry in self.entries:
             scenarios = entry.scenarios()
             entry_workers = entry.workers if entry.workers is not None else workers
             start = time.perf_counter()
-            results = run_scenarios(scenarios, workers=entry_workers)
+            results = run_scenarios(scenarios, workers=entry_workers, cache=cache)
             seconds = time.perf_counter() - start
             reports.append(_report_entry(entry, scenarios, results, seconds))
         return SuiteReport(

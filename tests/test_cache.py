@@ -1,0 +1,248 @@
+"""Content addressing (`Scenario.cache_key`) and the `ResultCache`:
+exact hits, LRU bounds, journal persistence, and the cache-aware
+`run_scenarios` / `Suite.run` paths."""
+
+import json
+
+import pytest
+
+from repro.api import Scenario, Sweep, run_scenarios
+from repro.cache import ResultCache
+from repro.errors import ConfigurationError
+from repro.sim.adversary import KillActive
+from repro.suites import Suite
+
+# ---- Scenario.canonical_dict / cache_key ------------------------------------
+
+
+def _scenario(**overrides) -> Scenario:
+    base = dict(protocol="B", n=64, t=8, adversary="random:3", seed=7)
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def test_cache_key_is_stable_and_hex():
+    key = _scenario().cache_key()
+    assert key == _scenario().cache_key()
+    assert len(key) == 64
+    int(key, 16)  # sha-256 hex digest
+
+
+def test_cache_key_ignores_spelling_variants():
+    as_string = _scenario(adversary="random:3")
+    as_dict = _scenario(adversary={"kind": "random", "count": 3})
+    assert as_string.cache_key() == as_dict.cache_key()
+
+
+def test_cache_key_ignores_the_name_label():
+    assert _scenario().cache_key() == _scenario(name="labelled").cache_key()
+    assert "name" not in _scenario(name="labelled").canonical_dict()
+
+
+def test_cache_key_resolves_auto_engine():
+    auto = _scenario(engine="auto")
+    explicit = _scenario(engine="sync")
+    assert auto.cache_key() == explicit.cache_key()
+    assert auto.canonical_dict()["engine"] == "sync"
+
+
+@pytest.mark.parametrize(
+    "changes",
+    [
+        {"seed": 8},
+        {"n": 65},
+        {"protocol": "A"},
+        {"adversary": "random:4"},
+        {"adversary": None},
+    ],
+)
+def test_cache_key_tracks_semantic_changes(changes):
+    assert _scenario().cache_key() != _scenario(**changes).cache_key()
+
+
+def test_live_adversary_has_no_cache_key():
+    scenario = Scenario(protocol="A", n=16, t=4, adversary=KillActive(2))
+    with pytest.raises(ConfigurationError):
+        scenario.cache_key()
+
+
+# ---- ResultCache ------------------------------------------------------------
+
+
+def test_cache_round_trip_is_exact():
+    cache = ResultCache()
+    scenario = _scenario()
+    direct = scenario.run()
+    key = scenario.cache_key()
+    assert cache.get(key) is None  # miss
+    cache.put(key, direct)
+    cached = cache.get(key)
+    assert cached.config is None  # config is attached by the caller
+    assert cached.metrics.as_dict() == direct.metrics.as_dict()
+    assert cached.metrics == direct.metrics
+    assert cache.stats()["hits"] == 1
+    assert cache.stats()["misses"] == 1
+    assert cache.stats()["stores"] == 1
+
+
+def test_cache_peek_does_not_touch_counters():
+    cache = ResultCache()
+    scenario = _scenario()
+    cache.put(scenario.cache_key(), scenario.run())
+    assert cache.peek(scenario.cache_key()) is not None
+    assert cache.peek("missing") is None
+    assert cache.stats()["hits"] == 0
+    assert cache.stats()["misses"] == 0
+
+
+def test_cache_lru_eviction_counts():
+    cache = ResultCache(max_entries=2)
+    results = {}
+    for seed in range(3):
+        scenario = _scenario(seed=seed)
+        results[seed] = (scenario.cache_key(), scenario.run())
+        cache.put(*results[seed])
+    assert len(cache) == 2
+    assert cache.stats()["evictions"] == 1
+    assert results[0][0] not in cache  # oldest went first
+    assert results[2][0] in cache
+
+
+def test_cache_get_refreshes_lru_order():
+    cache = ResultCache(max_entries=2)
+    first, second, third = (_scenario(seed=seed) for seed in range(3))
+    cache.put(first.cache_key(), first.run())
+    cache.put(second.cache_key(), second.run())
+    assert cache.get(first.cache_key()) is not None  # first becomes MRU
+    cache.put(third.cache_key(), third.run())
+    assert first.cache_key() in cache
+    assert second.cache_key() not in cache
+
+
+def test_cache_rejects_bad_configuration():
+    with pytest.raises(ConfigurationError, match="max_entries"):
+        ResultCache(max_entries=0)
+    with pytest.raises(ConfigurationError, match="cache key"):
+        ResultCache().put(123, _scenario().run())
+
+
+# ---- JSONL persistence ------------------------------------------------------
+
+
+def test_cache_journal_survives_restart(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    scenario = _scenario()
+    direct = scenario.run()
+    ResultCache(path=path).put(scenario.cache_key(), direct)
+    revived = ResultCache(path=path)
+    assert len(revived) == 1
+    cached = revived.get(scenario.cache_key())
+    assert cached.metrics == direct.metrics
+    assert revived.stats()["path"] == str(path)
+
+
+def test_cache_journal_last_write_wins(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    cache = ResultCache(path=path)
+    scenario = _scenario()
+    cache.put(scenario.cache_key(), scenario.run())
+    cache.put(scenario.cache_key(), scenario.run())  # re-store appends
+    assert len(path.read_text().splitlines()) == 2
+    assert len(ResultCache(path=path)) == 1  # replay dedups by key
+
+
+def test_cache_journal_names_broken_lines(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    path.write_text("not json\n")
+    with pytest.raises(ConfigurationError, match="line 1"):
+        ResultCache(path=path)
+    path.write_text(json.dumps({"key": 1, "result": {}}) + "\n")
+    with pytest.raises(ConfigurationError, match="'key'"):
+        ResultCache(path=path)
+
+
+# ---- run_scenarios with a cache ---------------------------------------------
+
+
+def test_run_scenarios_deduplicates_within_a_batch():
+    cache = ResultCache()
+    scenario = _scenario()
+    results = run_scenarios([scenario, scenario, scenario], cache=cache)
+    assert cache.stats()["misses"] == 1
+    assert cache.stats()["stores"] == 1
+    direct = scenario.run()
+    for result in results:
+        assert result == direct  # config echo included
+
+
+def test_run_scenarios_cache_hits_are_bit_identical():
+    cache = ResultCache()
+    scenarios = [_scenario(seed=seed) for seed in range(4)]
+    cold = run_scenarios(scenarios, cache=cache)
+    warm = run_scenarios(scenarios, cache=cache)
+    assert cold == warm == run_scenarios(scenarios)
+    stats = cache.stats()
+    assert stats["misses"] == 4 and stats["hits"] == 4
+
+
+def test_run_scenarios_cache_echoes_the_requesting_scenario():
+    cache = ResultCache()
+    anonymous = _scenario()
+    named = _scenario(name="labelled")  # same key, different echo
+    run_scenarios([anonymous], cache=cache)
+    (result,) = run_scenarios([named], cache=cache)
+    assert cache.stats()["hits"] == 1
+    assert result.config == named.to_dict()
+    assert result.metrics == anonymous.run().metrics
+
+
+def test_run_scenarios_live_adversary_bypasses_the_cache():
+    cache = ResultCache()
+    scenario = Scenario(protocol="A", n=32, t=8, adversary=KillActive(3))
+    first = run_scenarios([scenario], cache=cache)
+    second = run_scenarios([scenario], cache=cache)
+    assert len(cache) == 0
+    assert first[0].metrics.as_dict() == second[0].metrics.as_dict()
+
+
+def test_run_scenarios_parallel_with_cache_matches_serial():
+    cache = ResultCache()
+    scenarios = list(
+        Sweep(base=_scenario(), seeds=range(4)).scenarios()
+    )
+    parallel = run_scenarios(scenarios, workers=2, cache=cache)
+    assert [r.to_dict() for r in parallel] == [
+        r.to_dict() for r in run_scenarios(scenarios)
+    ]
+    assert cache.stats()["stores"] == 4
+
+
+# ---- suite layer reuse ------------------------------------------------------
+
+
+def test_suite_run_reuses_the_cache():
+    suite = Suite.from_dict(
+        {
+            "suite": "cache-reuse",
+            "version": 1,
+            "entries": [
+                {"name": "one", "scenario": _scenario().to_dict()},
+                {
+                    "name": "grid",
+                    "sweep": Sweep(base=_scenario(), seeds=[7, 8]).to_dict(),
+                },
+            ],
+        }
+    )
+    cache = ResultCache()
+    cold = suite.run(cache=cache)
+    misses_after_cold = cache.stats()["misses"]
+    warm = suite.run(cache=cache)
+    stats = cache.stats()
+    # seed 7 appears in both entries: 2 distinct runs total, all hits on rerun.
+    assert misses_after_cold == 2
+    assert stats["misses"] == 2
+    assert stats["hits"] >= 3
+    assert [entry.observed for entry in warm.entries] == [
+        entry.observed for entry in cold.entries
+    ]

@@ -1,0 +1,278 @@
+"""End-to-end coverage for ``repro serve``: a live localhost server,
+the :class:`repro.Client`, the content-addressed cache behind them, and
+the duplicate-submission single-execution guarantee."""
+
+import json
+import threading
+
+import pytest
+
+from repro.api import Scenario, Sweep
+from repro.client import Client, _wire_document
+from repro.core.registry import available_protocols
+from repro.errors import ConfigurationError, ServerError
+from repro.server import ReproServer, scenarios_from_document
+from repro.suites import Suite
+
+
+def _scenario_for(protocol: str) -> Scenario:
+    if protocol in available_protocols("async"):
+        return Scenario(
+            protocol=protocol,
+            n=48,
+            t=6,
+            crash_times={1: 5.0},
+            delay="uniform:0.5,3.0",
+            failure_detector={"min_delay": 1.0, "max_delay": 4.0},
+            seed=2,
+        )
+    options = {"interval": 4} if protocol == "naive" else {}
+    n, t = (24, 6) if protocol.startswith("c") else (32, 8)
+    return Scenario(
+        protocol=protocol,
+        n=n,
+        t=t,
+        adversary="random:2,max_action_index=8",
+        seed=3,
+        options=options,
+    )
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ReproServer(port=0) as live:
+        yield live
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return Client(server.url)
+
+
+# ---- served == direct, every protocol, both engines -------------------------
+
+
+@pytest.mark.parametrize("protocol", available_protocols())
+def test_served_result_is_bit_identical_to_direct(client, protocol):
+    scenario = _scenario_for(protocol)
+    served = client.run(scenario)
+    direct = scenario.run()
+    assert served == direct  # full dataclass equality, config echo included
+    assert served.to_dict(full=True) == direct.to_dict(full=True)
+    # Second submission is a pure cache hit and still identical.
+    assert client.run(scenario) == direct
+
+
+def test_sweep_submission_matches_in_process_run(client):
+    sweep = Sweep(
+        base=Scenario(protocol="B", n=48, t=8, adversary="random:3"),
+        seeds=[0, 1, 2],
+    )
+    served = client.run_sweep(sweep)
+    direct = sweep.run()
+    assert len(served) == len(direct) == 3
+    assert served.entries == direct.entries
+    assert served.worst() == direct.worst()
+
+
+def test_suite_document_expands_to_every_entry(client):
+    suite = {
+        "suite": "served",
+        "version": 1,
+        "entries": [
+            {
+                "name": "single",
+                "scenario": {"protocol": "A", "n": 32, "t": 4, "seed": 5},
+            },
+            {
+                "name": "grid",
+                "sweep": {
+                    "base": {"protocol": "B", "n": 32, "t": 4},
+                    "seeds": [5, 6],
+                },
+            },
+        ],
+    }
+    snapshot = client.submit(suite)  # bare suite dict; client wraps it
+    assert snapshot["kind"] == "suite"
+    assert snapshot["runs"] == 3
+    results = client.wait(snapshot["job"])
+    assert len(results) == 3
+    assert all(result.completed for result in results)
+
+
+# ---- the duplicate-submission load test -------------------------------------
+
+
+def test_thousand_duplicate_submissions_execute_each_scenario_once():
+    distinct = [
+        Scenario(protocol="A", n=16, t=4, adversary="random:2", seed=seed)
+        for seed in range(8)
+    ]
+    direct = [scenario.run() for scenario in distinct]
+    total, workers = 1000, 16
+    with ReproServer(port=0, job_workers=8) as live:
+        results = [None] * total
+        errors = []
+
+        def pound(worker: int) -> None:
+            local = Client(live.url)
+            try:
+                for i in range(worker, total, workers):
+                    results[i] = local.run(distinct[i % len(distinct)])
+            except Exception as exc:  # pragma: no cover - diagnostic path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=pound, args=(worker,))
+            for worker in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        stats = Client(live.url).stats()
+
+    assert errors == []
+    # Single-execution proof: 8 distinct keys -> 8 runs, everything else
+    # resolved from the cache or an in-flight duplicate.
+    assert stats["executions"] == len(distinct)
+    assert stats["cache"]["misses"] == len(distinct)
+    assert stats["cache"]["stores"] == len(distinct)
+    assert stats["cache"]["hits"] + stats["coalesced"] == total - len(distinct)
+    assert stats["jobs"]["submitted"] == total
+    for i, result in enumerate(results):
+        assert result == direct[i % len(distinct)]
+
+
+# ---- error taxonomy over the wire -------------------------------------------
+
+
+def test_malformed_scenario_names_field_and_value(client):
+    with pytest.raises(ConfigurationError, match="'n'.*'lots'"):
+        client.submit({"scenario": {"protocol": "A", "n": "lots", "t": 4}})
+
+
+def test_unknown_protocol_is_rejected_at_submission(client):
+    with pytest.raises(ConfigurationError, match="zz"):
+        client.submit({"scenario": {"protocol": "zz", "n": 32, "t": 4}})
+
+
+def test_document_must_hold_exactly_one_kind(client):
+    with pytest.raises(ConfigurationError, match="exactly one"):
+        client.submit(
+            {
+                "scenario": {"protocol": "A", "n": 32, "t": 4},
+                "scenarios": [],
+            }
+        )
+    with pytest.raises(ConfigurationError, match="exactly one"):
+        client._request("/jobs", {})
+
+
+def test_unknown_job_and_result_raise_server_error(client):
+    with pytest.raises(ServerError, match="no job"):
+        client.job("j-999999")
+    with pytest.raises(ServerError, match="no cached result"):
+        client.result("0" * 64)
+
+
+def test_unreachable_server_raises_server_error():
+    with pytest.raises(ServerError, match="cannot reach"):
+        Client("http://127.0.0.1:9", timeout=0.5).stats()
+
+
+# ---- lookups and counters ---------------------------------------------------
+
+
+def test_result_endpoint_serves_by_cache_key(client):
+    scenario = Scenario(protocol="D", n=32, t=4, seed=11)
+    served = client.run(scenario)
+    fetched = client.result(scenario.cache_key())
+    # /results/<key> has no submitting scenario, so no config echo.
+    assert fetched.config is None
+    assert fetched.metrics == served.metrics
+
+
+def test_stats_and_manifest_shapes(client):
+    stats = client.stats()
+    assert set(stats) >= {"jobs", "executions", "coalesced", "inflight", "cache"}
+    assert set(stats["cache"]) >= {"hits", "misses", "stores", "evictions", "size"}
+    about = client.about()
+    assert about["service"] == "repro-serve"
+    assert "a" in about["protocols"]
+    assert any(endpoint.startswith("POST /jobs") for endpoint in about["endpoints"])
+
+
+# ---- wire-format helpers ----------------------------------------------------
+
+
+def test_wire_document_disambiguates_bare_dicts():
+    scenario = {"protocol": "A", "n": 32, "t": 4}
+    assert _wire_document(scenario) == {"scenario": scenario}
+    sweep = {"base": scenario, "seeds": [1, 2]}
+    assert _wire_document(sweep) == {"sweep": sweep}
+    suite = {"suite": "named", "version": 1, "entries": []}
+    assert _wire_document(suite) == {"suite": suite}
+    wrapped = {"scenarios": [scenario]}
+    assert _wire_document(wrapped) == wrapped
+    with pytest.raises(ConfigurationError, match="Scenario, Sweep, Suite or dict"):
+        _wire_document(42)
+
+
+def test_wire_document_wraps_api_objects():
+    scenario = Scenario(protocol="A", n=32, t=4)
+    assert _wire_document(scenario) == {"scenario": scenario.to_dict()}
+    sweep = Sweep(base=scenario, seeds=[1])
+    assert _wire_document(sweep) == {"sweep": sweep.to_dict()}
+    suite = Suite(name="s", version=1, entries=[])
+    assert _wire_document(suite) == {"suite": suite.to_dict()}
+
+
+def test_scenarios_from_document_expands_each_kind():
+    scenario = {"protocol": "A", "n": 32, "t": 4}
+    kind, expanded = scenarios_from_document({"scenario": scenario})
+    assert kind == "scenario" and len(expanded) == 1
+    kind, expanded = scenarios_from_document(
+        {"sweep": {"base": scenario, "seeds": [1, 2, 3]}}
+    )
+    assert kind == "sweep" and len(expanded) == 3
+    kind, expanded = scenarios_from_document({"scenarios": [scenario, scenario]})
+    assert kind == "scenarios" and len(expanded) == 2
+    with pytest.raises(ConfigurationError, match="non-empty list"):
+        scenarios_from_document({"scenarios": []})
+    with pytest.raises(ConfigurationError, match="dict"):
+        scenarios_from_document([scenario])
+
+
+# ---- the CLI submit verb ----------------------------------------------------
+
+
+def test_cli_submit_round_trips_through_a_live_server(server, tmp_path, capsys):
+    from repro.__main__ import main
+
+    document = tmp_path / "scenario.json"
+    document.write_text(
+        json.dumps({"scenario": {"protocol": "B", "n": 48, "t": 8, "seed": 9}})
+    )
+    code = main(["submit", str(document), "--server", server.url])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "B" in out and "completed" in out
+
+    code = main(["submit", str(document), "--server", server.url, "--json"])
+    captured = capsys.readouterr()
+    assert code == 0
+    payloads = json.loads(captured.out)
+    assert payloads[0]["status"] == "done"
+    assert payloads[0]["sources"] == ["cache"]  # second submission hits
+
+
+def test_cli_submit_unreachable_server_exits_2(tmp_path, capsys):
+    from repro.__main__ import main
+
+    document = tmp_path / "scenario.json"
+    document.write_text(json.dumps({"scenario": {"protocol": "A", "n": 16, "t": 2}}))
+    code = main(["submit", str(document), "--server", "http://127.0.0.1:9"])
+    assert code == 2
+    assert "error" in capsys.readouterr().err

@@ -395,7 +395,7 @@ def test_workers_hint_round_trips_and_is_honored(monkeypatch):
 
     seen = []
 
-    def spy_run_scenarios(scenarios, *, workers=None):
+    def spy_run_scenarios(scenarios, *, workers=None, cache=None):
         seen.append(workers)
         return [scenario.run() for scenario in scenarios]
 
