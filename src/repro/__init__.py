@@ -29,6 +29,13 @@ from repro.agreement.byzantine import AgreementOutcome, ByzantineAgreement
 from repro.analysis.verify import VerificationReport, verify_run
 from repro.api import ResultSet, Scenario, Sweep, run_scenarios
 from repro.cache import ResultCache
+from repro.campaign import (
+    CampaignReport,
+    CampaignSpec,
+    CampaignState,
+    load_campaign,
+    run_campaign,
+)
 from repro.client import Client
 from repro.core.registry import available_protocols, build_processes, run_protocol
 from repro.suites import Suite, SuiteReport, load_suite
@@ -55,6 +62,9 @@ __all__ = [
     "AgreementOutcome",
     "ByzantineAgreement",
     "BudgetExceeded",
+    "CampaignReport",
+    "CampaignSpec",
+    "CampaignState",
     "Client",
     "ConfigurationError",
     "CongestionBudget",
@@ -77,7 +87,9 @@ __all__ = [
     "verify_run",
     "available_protocols",
     "build_processes",
+    "load_campaign",
     "load_suite",
+    "run_campaign",
     "run_protocol",
     "run_scenarios",
     "__version__",

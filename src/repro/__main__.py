@@ -38,6 +38,43 @@ Subcommands:
       python -m repro submit scenario.json --server http://127.0.0.1:8123
       python -m repro submit scenarios/paper_battery.json --json
 
+* ``campaign`` - sharded, resumable large-grid experiment campaigns
+  (see ``docs/campaigns.md``): plan a grid spec into deterministic
+  chunks, execute them with per-chunk ledger checkpoints, resume after
+  an interruption by skipping checkpointed chunks, and merge everything
+  into one per-cell worst/mean report::
+
+      python -m repro campaign plan campaigns/paper_grid.json
+      python -m repro campaign run campaigns/paper_grid.json --ledger grid.ledger
+      python -m repro campaign resume campaigns/paper_grid.json --ledger grid.ledger
+      python -m repro campaign status campaigns/paper_grid.json --ledger grid.ledger
+      python -m repro campaign report campaigns/paper_grid.json --ledger grid.ledger
+
+  ``run`` accepts ``--workers N`` (local pool), ``--cache-file PATH``
+  (shared content-addressed cache), ``--server URL`` (execute on a
+  remote ``repro serve`` so shards share one memo), ``--shard i/k``
+  (this invocation only runs chunks with ``index % k == i``) and
+  ``--max-chunks N`` (deliberate interruption).  ``resume`` is ``run``
+  that *requires* an existing ledger.  ``status`` exits 0 only when the
+  grid is complete; ``report`` accepts several ``--ledger`` files (one
+  per shard) and exits 1 when campaign pins fail.
+
+* ``cache`` - maintain content-addressed result-cache journals::
+
+      python -m repro cache compact cache.jsonl
+
+  ``compact`` rewrites an append-only journal to its live entries
+  (atomically), dropping dead lines left by re-stores and evictions.
+
+* ``bench`` - commit-stamped bench history (see ``docs/perf.md``)::
+
+      python -m repro bench snapshot --label pr8
+      python -m repro bench timeline --measure seconds_best
+
+  ``snapshot`` copies ``BENCH_engine.json`` into
+  ``benchmarks/history/NNNN_<commit>.json``; ``timeline`` pivots every
+  snapshot into per-scenario trend tables across the PR series.
+
 * ``suite`` - versioned, regression-pinned scenario suites (see
   ``docs/suites.md``)::
 
@@ -443,6 +480,175 @@ def _cmd_suite_diff(args) -> int:
     return 0 if diff.passed else 1
 
 
+def _load_campaign(args):
+    from repro.campaign import load_campaign
+
+    return load_campaign(args.file)
+
+
+def _cmd_campaign_plan(args) -> int:
+    spec = _load_campaign(args)
+    summary = spec.plan_summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"campaign {spec.name}  (digest {spec.digest()[:12]})")
+    if spec.description:
+        print(f"  {spec.description}")
+    for axis in ("protocols", "adversaries", "n", "t"):
+        values = summary["axes"][axis]
+        print(f"  {axis}: {', '.join(str(v) for v in values)}")
+    print(f"  seeds: {len(spec.seeds)}")
+    print(
+        f"  {summary['runs']} runs = {summary['cells']} cells x "
+        f"{len(spec.seeds)} seeds, in {summary['chunks']} chunks of "
+        f"<= {spec.chunk_size}"
+    )
+    if spec.pins:
+        print(f"  pins: {', '.join(sorted(spec.pins))}")
+    return 0
+
+
+def _run_or_resume_campaign(args, *, require_ledger: bool) -> int:
+    from pathlib import Path
+
+    from repro.campaign import parse_shard, run_campaign
+    from repro.cache import ResultCache
+
+    spec = _load_campaign(args)
+    if require_ledger and not Path(args.ledger).exists():
+        raise ConfigurationError(
+            f"cannot resume: ledger {args.ledger} does not exist yet "
+            "(use 'campaign run' to start a campaign)"
+        )
+    cache = None
+    if args.cache_file:
+        cache = ResultCache(path=args.cache_file)
+    shard = parse_shard(args.shard) if args.shard else None
+    outcome = run_campaign(
+        spec,
+        args.ledger,
+        workers=args.workers,
+        cache=cache,
+        server=args.server,
+        timeout=args.timeout,
+        shard=shard,
+        max_chunks=args.max_chunks,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    if not outcome.complete:
+        status = outcome.status_dict()
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            print(
+                f"campaign {spec.name}: {status['chunks']['done']}/"
+                f"{status['chunks']['total']} chunks checkpointed "
+                f"({status['runs']['done']}/{status['runs']['total']} runs); "
+                "resume to continue",
+                file=sys.stderr,
+            )
+        return 1
+    report = outcome.report()
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.table())
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"wrote {args.report}", file=sys.stderr)
+    for message in report.failures():
+        print(f"FAIL {message}", file=sys.stderr)
+    return 0 if report.passed else 1
+
+
+def _cmd_campaign_run(args) -> int:
+    return _run_or_resume_campaign(args, require_ledger=False)
+
+
+def _cmd_campaign_resume(args) -> int:
+    return _run_or_resume_campaign(args, require_ledger=True)
+
+
+def _cmd_campaign_status(args) -> int:
+    from repro.campaign import campaign_status
+
+    spec = _load_campaign(args)
+    state = campaign_status(spec, args.ledger)
+    status = state.status_dict()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(
+            f"campaign {spec.name}: {status['chunks']['done']}/"
+            f"{status['chunks']['total']} chunks checkpointed "
+            f"({status['runs']['done']}/{status['runs']['total']} runs)"
+            + ("  COMPLETE" if state.complete else "")
+        )
+        if state.torn_tails:
+            print(
+                f"  {state.torn_tails} torn ledger tail(s) discarded "
+                "(interrupted mid-append; the chunk re-runs)"
+            )
+    return 0 if state.complete else 1
+
+
+def _cmd_campaign_report(args) -> int:
+    from repro.campaign import build_report, campaign_status
+
+    spec = _load_campaign(args)
+    state = campaign_status(spec, args.ledger)
+    report = build_report(spec, state, partial=args.partial)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.table())
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    for message in report.failures():
+        print(f"FAIL {message}", file=sys.stderr)
+    return 0 if report.passed else 1
+
+
+def _cmd_cache_compact(args) -> int:
+    from repro.cache import ResultCache
+
+    from pathlib import Path
+
+    if not Path(args.file).exists():
+        raise ConfigurationError(f"cache journal {args.file} does not exist")
+    cache = ResultCache(max_entries=args.max_entries, path=args.file)
+    stats = cache.compact()
+    print(
+        f"{args.file}: {stats['lines_before']} -> {stats['lines_after']} "
+        f"lines ({stats['bytes_before']} -> {stats['bytes_after']} bytes, "
+        f"{stats['entries']} live entries)"
+    )
+    return 0
+
+
+def _cmd_bench_snapshot(args) -> int:
+    from repro.bench_history import snapshot
+
+    path = snapshot(args.bench, args.dir, label=args.label)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_bench_timeline(args) -> int:
+    from repro.bench_history import timeline
+
+    line = timeline(args.dir)
+    if args.json:
+        print(json.dumps(line.as_dict(measure=args.measure), indent=2, sort_keys=True))
+        return 0
+    print(line.table(measure=args.measure))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Do-All protocols from Dwork-Halpern-Waarts 1992"
@@ -696,6 +902,204 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the machine-readable diff instead of the table",
     )
     suite_diff_p.set_defaults(func=_cmd_suite_diff)
+
+    campaign_p = sub.add_parser(
+        "campaign",
+        help="plan, run, resume and report large-grid campaigns "
+        "(see docs/campaigns.md)",
+    )
+    campaign_sub = campaign_p.add_subparsers(dest="campaign_command", required=True)
+
+    def add_campaign_file(p):
+        p.add_argument("file", metavar="FILE", help="campaign spec JSON file")
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="emit machine-readable JSON instead of tables",
+        )
+
+    campaign_plan_p = campaign_sub.add_parser(
+        "plan", help="show the grid, chunking and digest without running"
+    )
+    add_campaign_file(campaign_plan_p)
+    campaign_plan_p.set_defaults(func=_cmd_campaign_plan)
+
+    def add_campaign_run(p):
+        add_campaign_file(p)
+        p.add_argument(
+            "--ledger",
+            required=True,
+            metavar="PATH",
+            help="chunk-checkpoint ledger file (created if absent)",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="multiprocessing pool size per chunk (local mode; "
+            "metrics are bit-identical either way)",
+        )
+        p.add_argument(
+            "--cache-file",
+            default=None,
+            metavar="PATH",
+            help="shared content-addressed cache journal consulted "
+            "before executing and filled after",
+        )
+        p.add_argument(
+            "--server",
+            default=None,
+            metavar="URL",
+            help="execute chunks on a running 'repro serve' instead of "
+            "locally (shards then share the server's cache)",
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=600.0,
+            help="seconds to wait for each remote chunk (with --server)",
+        )
+        p.add_argument(
+            "--shard",
+            default=None,
+            metavar="I/K",
+            help="only run chunks with index %% K == I (one ledger per shard)",
+        )
+        p.add_argument(
+            "--max-chunks",
+            type=int,
+            default=None,
+            metavar="N",
+            help="stop after executing N chunks (deliberate interruption; "
+            "resume later)",
+        )
+        p.add_argument(
+            "--report",
+            default=None,
+            metavar="PATH",
+            help="when the campaign completes, also write the JSON report "
+            "to PATH (CI artifact)",
+        )
+
+    campaign_run_p = campaign_sub.add_parser(
+        "run", help="execute the remaining chunks, checkpointing each"
+    )
+    add_campaign_run(campaign_run_p)
+    campaign_run_p.set_defaults(func=_cmd_campaign_run)
+
+    campaign_resume_p = campaign_sub.add_parser(
+        "resume", help="like run, but requires an existing ledger"
+    )
+    add_campaign_run(campaign_resume_p)
+    campaign_resume_p.set_defaults(func=_cmd_campaign_resume)
+
+    campaign_status_p = campaign_sub.add_parser(
+        "status", help="replay ledgers and show progress (exit 0 iff complete)"
+    )
+    add_campaign_file(campaign_status_p)
+    campaign_status_p.add_argument(
+        "--ledger",
+        required=True,
+        nargs="+",
+        metavar="PATH",
+        help="ledger file(s); several shards' ledgers merge",
+    )
+    campaign_status_p.set_defaults(func=_cmd_campaign_status)
+
+    campaign_report_p = campaign_sub.add_parser(
+        "report",
+        help="merge ledgers into the per-cell worst/mean report "
+        "(exit 1 on pin failures)",
+    )
+    add_campaign_file(campaign_report_p)
+    campaign_report_p.add_argument(
+        "--ledger",
+        required=True,
+        nargs="+",
+        metavar="PATH",
+        help="ledger file(s); several shards' ledgers merge",
+    )
+    campaign_report_p.add_argument(
+        "--partial",
+        action="store_true",
+        help="report the checkpointed chunks even if the grid is incomplete",
+    )
+    campaign_report_p.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON report to PATH (CI artifact)",
+    )
+    campaign_report_p.set_defaults(func=_cmd_campaign_report)
+
+    cache_p = sub.add_parser(
+        "cache", help="maintain content-addressed result-cache journals"
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    cache_compact_p = cache_sub.add_parser(
+        "compact",
+        help="rewrite an append-only cache journal to its live entries",
+    )
+    cache_compact_p.add_argument(
+        "file", metavar="PATH", help="cache journal (JSONL) to compact"
+    )
+    cache_compact_p.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replay through an LRU of N entries first (keeps only the "
+        "N most recently stored results)",
+    )
+    cache_compact_p.set_defaults(func=_cmd_cache_compact)
+
+    bench_p = sub.add_parser(
+        "bench", help="commit-stamped bench history (see docs/perf.md)"
+    )
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+    bench_snapshot_p = bench_sub.add_parser(
+        "snapshot", help="record BENCH_engine.json as the next history snapshot"
+    )
+    bench_snapshot_p.add_argument(
+        "--bench",
+        default="BENCH_engine.json",
+        metavar="PATH",
+        help="bench report to snapshot (from benchmarks/run_bench.py)",
+    )
+    bench_snapshot_p.add_argument(
+        "--dir",
+        default="benchmarks/history",
+        metavar="DIR",
+        help="history directory",
+    )
+    bench_snapshot_p.add_argument(
+        "--label",
+        default=None,
+        help="column label for the timeline (default: the commit hash)",
+    )
+    bench_snapshot_p.set_defaults(func=_cmd_bench_snapshot)
+
+    bench_timeline_p = bench_sub.add_parser(
+        "timeline", help="per-scenario trend tables across bench snapshots"
+    )
+    bench_timeline_p.add_argument(
+        "--dir",
+        default="benchmarks/history",
+        metavar="DIR",
+        help="history directory",
+    )
+    bench_timeline_p.add_argument(
+        "--measure",
+        default="seconds_best",
+        help="bench measure to pivot on (seconds_best, work, messages, "
+        "virtual_rounds)",
+    )
+    bench_timeline_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable timeline instead of the table",
+    )
+    bench_timeline_p.set_defaults(func=_cmd_bench_timeline)
     return parser
 
 

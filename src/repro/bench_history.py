@@ -1,0 +1,274 @@
+"""Bench history: commit-stamped snapshots and the perf timeline.
+
+``BENCH_engine.json`` (written by ``benchmarks/run_bench.py``) captures
+the engine's performance at *one* commit; ``suite diff`` compares *two*
+reports.  This module closes the gap across the whole PR series:
+
+* :func:`snapshot` copies the current bench payload into
+  ``benchmarks/history/`` as ``NNNN_<commit>.json`` - a monotonically
+  numbered, commit-stamped record (``NNNN`` is the snapshot sequence, so
+  plain filename order *is* chronological order, with no wall-clock
+  dependence);
+* :func:`timeline` loads every snapshot and pivots it into per-scenario
+  trend rows - one column per snapshot - so a perf regression is
+  visible across the series, not just pairwise.
+
+CLI::
+
+    python -m repro bench snapshot --label pr8       # stamp the current bench
+    python -m repro bench timeline                   # seconds_best trend table
+    python -m repro bench timeline --measure messages --json
+
+Snapshot format: ``{"format": 1, "sequence": N, "commit": "...",
+"label": "...", "bench": <the BENCH_engine.json payload>}``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Snapshot file format version.
+HISTORY_FORMAT_VERSION = 1
+
+#: Default snapshot directory, relative to the working tree.
+HISTORY_DIR = "benchmarks/history"
+
+#: Per-scenario measures the timeline can pivot on (from the bench rows).
+TIMELINE_MEASURES = ("seconds_best", "work", "messages", "virtual_rounds")
+
+_SNAPSHOT_NAME = re.compile(r"^(\d{4,})_(.+)\.json$")
+
+
+def current_commit() -> str:
+    """The working tree's HEAD as a short hash.
+
+    ``REPRO_COMMIT`` overrides (CI can stamp the exact ref it builds);
+    outside a git checkout the stamp degrades to ``"unknown"`` rather
+    than failing - a snapshot with an unknown commit is still a usable
+    timeline column.
+    """
+    override = os.environ.get("REPRO_COMMIT")
+    if override:
+        return override
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else "unknown"
+
+
+def _load_snapshot(path: Path) -> Dict[str, Any]:
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read snapshot {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"snapshot {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(data, dict) or "bench" not in data:
+        raise ConfigurationError(
+            f"snapshot {path} is not a bench-history snapshot (missing the "
+            "'bench' payload; see repro.bench_history)"
+        )
+    if data.get("format") != HISTORY_FORMAT_VERSION:
+        raise ConfigurationError(
+            f"snapshot {path} uses format version {data.get('format')!r}, "
+            f"but this reader understands version {HISTORY_FORMAT_VERSION}"
+        )
+    scenarios = data["bench"].get("scenarios") if isinstance(data["bench"], dict) else None
+    if not isinstance(scenarios, list):
+        raise ConfigurationError(
+            f"snapshot {path} holds no 'bench.scenarios' list; it is not a "
+            "run_bench.py payload"
+        )
+    return data
+
+
+def list_snapshots(directory=HISTORY_DIR) -> List[Tuple[Path, Dict[str, Any]]]:
+    """``(path, payload)`` for every snapshot, in sequence order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    out = []
+    for path in sorted(directory.iterdir()):
+        if _SNAPSHOT_NAME.match(path.name):
+            out.append((path, _load_snapshot(path)))
+    return out
+
+
+def snapshot(
+    bench_path="BENCH_engine.json",
+    directory=HISTORY_DIR,
+    *,
+    commit: Optional[str] = None,
+    label: Optional[str] = None,
+) -> Path:
+    """Record the current bench payload as the next history snapshot."""
+    bench_path = Path(bench_path)
+    try:
+        bench = json.loads(bench_path.read_text())
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read bench file {bench_path}: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"bench file {bench_path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(bench, dict) or not isinstance(bench.get("scenarios"), list):
+        raise ConfigurationError(
+            f"bench file {bench_path} holds no 'scenarios' list; expected a "
+            "benchmarks/run_bench.py payload"
+        )
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    existing = list_snapshots(directory)
+    sequence = 1
+    if existing:
+        sequence = max(payload["sequence"] for _, payload in existing) + 1
+    commit = commit or current_commit()
+    payload = {
+        "format": HISTORY_FORMAT_VERSION,
+        "sequence": sequence,
+        "commit": commit,
+        "label": label or commit,
+        "bench": bench,
+    }
+    path = directory / f"{sequence:04d}_{commit}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@dataclass(frozen=True)
+class BenchTimeline:
+    """Per-scenario measures pivoted across every snapshot."""
+
+    columns: List[Dict[str, Any]]          # [{sequence, commit, label, path}]
+    rows: Dict[str, List[Optional[Dict[str, Any]]]]  # scenario -> per-column row
+
+    @property
+    def scenarios(self) -> List[str]:
+        return list(self.rows)
+
+    def series(self, scenario: str, measure: str) -> List[Optional[float]]:
+        """One scenario's ``measure`` across the snapshots (None where
+        the scenario is absent or errored)."""
+        if scenario not in self.rows:
+            raise ConfigurationError(
+                f"unknown scenario {scenario!r}; timeline covers: "
+                + ", ".join(self.rows)
+            )
+        _check_measure(measure)
+        return [
+            (row.get(measure) if row is not None else None)
+            for row in self.rows[scenario]
+        ]
+
+    def as_dict(self, *, measure: str = "seconds_best") -> Dict[str, Any]:
+        _check_measure(measure)
+        return {
+            "measure": measure,
+            "snapshots": [dict(column) for column in self.columns],
+            "scenarios": {
+                name: self.series(name, measure) for name in self.rows
+            },
+        }
+
+    def table(self, *, measure: str = "seconds_best") -> str:
+        """Markdown trend table: one row per scenario, one column per
+        snapshot, rightmost column annotated with the drift vs. the
+        previous snapshot."""
+        from repro.analysis.tables import render_table
+
+        _check_measure(measure)
+        if not self.columns:
+            return "no bench snapshots recorded yet (see 'repro bench snapshot')"
+        headers = ["scenario"] + [
+            f"{column['label']}" for column in self.columns
+        ] + ["trend"]
+        rows = []
+        for name in self.rows:
+            series = self.series(name, measure)
+            cells: List[Any] = [name]
+            for value in series:
+                if value is None:
+                    cells.append("-")
+                elif measure == "seconds_best":
+                    cells.append(f"{value:.3f}")
+                else:
+                    cells.append(value)
+            present = [v for v in series if v is not None]
+            if len(present) >= 2 and present[-2]:
+                delta = (present[-1] - present[-2]) / present[-2]
+                cells.append(f"{delta:+.1%}")
+            else:
+                cells.append("-")
+            rows.append(cells)
+        return render_table(
+            headers,
+            rows,
+            title=f"bench timeline ({measure}, {len(self.columns)} snapshots)",
+        )
+
+
+def _check_measure(measure: str) -> None:
+    if measure not in TIMELINE_MEASURES:
+        raise ConfigurationError(
+            f"unknown timeline measure {measure!r}; choices: "
+            + ", ".join(TIMELINE_MEASURES)
+        )
+
+
+def timeline(directory=HISTORY_DIR) -> BenchTimeline:
+    """Load every snapshot under ``directory`` into a pivot."""
+    snapshots = list_snapshots(directory)
+    columns = []
+    rows: Dict[str, List[Optional[Dict[str, Any]]]] = {}
+    for position, (path, payload) in enumerate(snapshots):
+        columns.append(
+            {
+                "sequence": payload["sequence"],
+                "commit": payload["commit"],
+                "label": payload["label"],
+                "path": str(path),
+            }
+        )
+        for row in payload["bench"]["scenarios"]:
+            name = row.get("name")
+            if not isinstance(name, str):
+                continue
+            series = rows.setdefault(name, [None] * position)
+            while len(series) < position:
+                series.append(None)
+            series.append(None if "error" in row else row)
+    for series in rows.values():
+        while len(series) < len(columns):
+            series.append(None)
+    return BenchTimeline(columns=columns, rows=rows)
+
+
+__all__ = [
+    "HISTORY_DIR",
+    "HISTORY_FORMAT_VERSION",
+    "TIMELINE_MEASURES",
+    "BenchTimeline",
+    "current_commit",
+    "list_snapshots",
+    "snapshot",
+    "timeline",
+]

@@ -26,7 +26,10 @@ persistence:
   (last write wins), so a restarted server keeps its memo.  The journal
   is append-only: in-memory LRU evictions do not rewrite it, which
   makes persistence crash-safe at the cost of the file being a superset
-  of memory.
+  of memory.  :meth:`ResultCache.compact` (CLI: ``repro cache
+  compact``) rewrites the journal to live entries only - atomically,
+  via a temp file - when campaign-scale churn makes that superset
+  bloat.
 
 Thread-safe; the run server shares one instance across its request and
 worker threads.
@@ -168,6 +171,46 @@ class ResultCache:
         """Drop the in-memory entries (the journal, if any, is kept)."""
         with self._lock:
             self._entries.clear()
+
+    def compact(self) -> Dict[str, int]:
+        """Rewrite the journal to the live entries only.
+
+        The journal is append-only: re-stores of a key and entries since
+        evicted from the LRU accumulate as dead lines (a large campaign
+        makes that bloat real).  Compaction writes the current in-memory
+        entries - one line per live key, LRU order - to a sibling temp
+        file and atomically replaces the journal, so a crash mid-compact
+        leaves the old journal intact.  Returns before/after line and
+        byte counts.  Requires a journal-backed cache.
+        """
+        with self._lock:
+            if self.path is None:
+                raise ConfigurationError(
+                    "this cache has no journal to compact; construct it "
+                    "with path=..."
+                )
+            lines_before = 0
+            bytes_before = 0
+            if self.path.exists():
+                text = self.path.read_text()
+                bytes_before = len(text.encode("utf-8"))
+                lines_before = sum(1 for line in text.splitlines() if line.strip())
+            tmp = self.path.with_name(self.path.name + ".compact")
+            with tmp.open("w") as handle:
+                for key, payload in self._entries.items():
+                    handle.write(
+                        json.dumps({"key": key, "result": payload}, sort_keys=True)
+                        + "\n"
+                    )
+            bytes_after = tmp.stat().st_size
+            tmp.replace(self.path)
+            return {
+                "entries": len(self._entries),
+                "lines_before": lines_before,
+                "lines_after": len(self._entries),
+                "bytes_before": bytes_before,
+                "bytes_after": bytes_after,
+            }
 
     # ---- observability -----------------------------------------------
 

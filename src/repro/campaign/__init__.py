@@ -1,0 +1,67 @@
+"""Campaign runner: sharded, resumable large-grid experiment campaigns.
+
+The suite layer (:mod:`repro.suites`) tops out at ~10^2 pinned runs;
+campaigns are the 10^4-10^5-run regime where the paper's worst-case
+bounds become statistically visible.  A campaign is:
+
+* a declarative **grid spec** (:class:`CampaignSpec`, JSON like
+  Scenario/Suite): base scenario x protocols x adversaries x n x t x
+  seeds, planned into deterministic fixed-size chunks;
+* a **chunk ledger** (:class:`~repro.campaign.ledger.CampaignLedger`):
+  append-only JSONL checkpoints keyed by
+  :meth:`~repro.api.Scenario.cache_key`, torn-line tolerant, so a killed
+  campaign resumes by re-running only the missing chunks
+  (:class:`CampaignState` is the replayed progress);
+* a **runner** (:func:`run_campaign`): executes remaining chunks on the
+  :func:`repro.api.run_scenarios` pool, through a shared
+  :class:`~repro.cache.ResultCache`, or against a remote ``repro
+  serve`` instance (shards reuse one server-side cache);
+* a **report** (:class:`CampaignReport`): every chunk rehydrated and
+  merged via :meth:`~repro.api.ResultSet.merge` with per-cell
+  worst/mean reducers, markdown/JSON export, and optional
+  campaign-level pins.
+
+The headline guarantee - proven by ``tests/test_campaign.py`` and the
+CI ``campaign-smoke`` job - is bit-identical determinism under
+interruption: kill a campaign at any chunk boundary (or mid-append),
+resume, and the merged report's ``results`` equal an uninterrupted
+serial run exactly, with counters proving checkpointed chunks were not
+re-executed.
+
+See ``docs/campaigns.md`` for the file format and CLI tour
+(``python -m repro campaign plan|run|resume|status|report``).
+"""
+
+from repro.campaign.ledger import LEDGER_FORMAT_VERSION, CampaignLedger, CampaignState
+from repro.campaign.report import CampaignCell, CampaignReport, build_report
+from repro.campaign.runner import (
+    CampaignOutcome,
+    campaign_status,
+    parse_shard,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    CAMPAIGN_FORMAT_VERSION,
+    CampaignChunk,
+    CampaignSpec,
+    adversary_label,
+    load_campaign,
+)
+
+__all__ = [
+    "CAMPAIGN_FORMAT_VERSION",
+    "LEDGER_FORMAT_VERSION",
+    "CampaignCell",
+    "CampaignChunk",
+    "CampaignLedger",
+    "CampaignOutcome",
+    "CampaignReport",
+    "CampaignSpec",
+    "CampaignState",
+    "adversary_label",
+    "build_report",
+    "campaign_status",
+    "load_campaign",
+    "parse_shard",
+    "run_campaign",
+]

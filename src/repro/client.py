@@ -17,6 +17,16 @@ with the server's message (which names the offending field and value);
 transport failures, timeouts and 5xx raise
 :class:`~repro.errors.ServerError`.  A job that *failed on the server*
 re-raises its recorded error type the same way.
+
+Transient *connection* failures (refused, reset, DNS hiccups - anything
+``urllib`` surfaces as a ``URLError`` without an HTTP status) are
+retried with a bounded, deterministic backoff schedule before
+:class:`~repro.errors.ServerError` is raised: ``attempts`` tries total,
+sleeping ``backoff * 2**i`` between them (default 4 tries: 0.05s, 0.1s,
+0.2s).  Long-running campaigns polling a shared serve instance survive
+a server restart or a dropped socket instead of dying on the first
+hiccup.  HTTP-level errors (400/404/5xx) are real answers and are never
+retried.
 """
 
 from __future__ import annotations
@@ -66,11 +76,34 @@ def _wire_document(document: Document) -> Dict[str, Any]:
 class Client:
     """HTTP client for one run server; see the module docstring."""
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 30.0,
+        attempts: int = 4,
+        backoff: float = 0.05,
+    ):
+        if isinstance(attempts, bool) or not isinstance(attempts, int) or attempts < 1:
+            raise ConfigurationError(
+                f"client attempts must be a positive integer, got {attempts!r}"
+            )
+        if isinstance(backoff, bool) or not isinstance(backoff, (int, float)) or backoff < 0:
+            raise ConfigurationError(
+                f"client backoff must be a non-negative number, got {backoff!r}"
+            )
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.attempts = attempts
+        self.backoff = backoff
+        self._sleep = time.sleep  # injectable for deterministic tests
 
     # ---- transport ---------------------------------------------------
+
+    def _retry_delays(self) -> List[float]:
+        """The deterministic backoff schedule: one sleep before each
+        retry after the first attempt (``backoff * 2**i``)."""
+        return [self.backoff * (2 ** i) for i in range(self.attempts - 1)]
 
     def _request(
         self, path: str, payload: Optional[Dict[str, Any]] = None
@@ -81,20 +114,31 @@ class Client:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers)
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            self._raise_http_error(exc)
-        except urllib.error.URLError as exc:
-            raise ServerError(
-                f"cannot reach repro server at {self.base_url}: {exc.reason}"
-            ) from exc
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise ServerError(
-                f"repro server at {self.base_url} sent a non-JSON response: {exc}"
-            ) from exc
+        delays = self._retry_delays()
+        last_reason: Any = None
+        for attempt in range(self.attempts):
+            if attempt:
+                self._sleep(delays[attempt - 1])
+            request = urllib.request.Request(url, data=data, headers=headers)
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                # An HTTP status is a real answer, not a transport
+                # hiccup - never retried.
+                self._raise_http_error(exc)
+            except urllib.error.URLError as exc:
+                last_reason = exc.reason
+                continue
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise ServerError(
+                    f"repro server at {self.base_url} sent a non-JSON response: {exc}"
+                ) from exc
+        raise ServerError(
+            f"cannot reach repro server at {self.base_url} after "
+            f"{self.attempts} attempt{'s' if self.attempts != 1 else ''}: "
+            f"{last_reason}"
+        )
 
     def _raise_http_error(self, exc: urllib.error.HTTPError) -> None:
         try:

@@ -1,0 +1,119 @@
+"""Bench history snapshots and the cross-commit timeline."""
+
+import json
+
+import pytest
+
+from repro.bench_history import (
+    BenchTimeline,
+    current_commit,
+    list_snapshots,
+    snapshot,
+    timeline,
+)
+from repro.errors import ConfigurationError
+
+
+def _bench_payload(**measures):
+    row = dict(
+        name="A_small",
+        completed=True,
+        seconds_best=0.01,
+        seconds_all=[0.01],
+        work=100,
+        messages=50,
+        virtual_rounds=7,
+    )
+    row.update(measures)
+    return {"suite": "engine", "repeat": 1, "scenarios": [row]}
+
+
+def _write_bench(tmp_path, name="bench.json", **measures):
+    path = tmp_path / name
+    path.write_text(json.dumps(_bench_payload(**measures)))
+    return path
+
+
+def test_snapshot_stamps_sequence_and_commit(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_COMMIT", "abc1234")
+    bench = _write_bench(tmp_path)
+    history = tmp_path / "history"
+    path = snapshot(bench, history)
+    assert path.name == "0001_abc1234.json"
+    data = json.loads(path.read_text())
+    assert data["format"] == 1
+    assert data["sequence"] == 1
+    assert data["commit"] == "abc1234"
+    assert data["label"] == "abc1234"
+    assert data["bench"]["scenarios"][0]["name"] == "A_small"
+    # The next snapshot continues the sequence.
+    second = snapshot(bench, history, label="tuned")
+    assert second.name == "0002_abc1234.json"
+    assert json.loads(second.read_text())["label"] == "tuned"
+    assert [p.name for p, _ in list_snapshots(history)] == [
+        "0001_abc1234.json",
+        "0002_abc1234.json",
+    ]
+
+
+def test_current_commit_prefers_the_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_COMMIT", "feedf00d")
+    assert current_commit() == "feedf00d"
+
+
+def test_snapshot_rejects_non_bench_files(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"not": "a bench"}))
+    with pytest.raises(ConfigurationError, match="scenarios"):
+        snapshot(bad, tmp_path / "history")
+    with pytest.raises(ConfigurationError, match="cannot read"):
+        snapshot(tmp_path / "absent.json", tmp_path / "history")
+
+
+def test_timeline_pivots_measures_across_snapshots(tmp_path, monkeypatch):
+    history = tmp_path / "history"
+    monkeypatch.setenv("REPRO_COMMIT", "c1")
+    snapshot(_write_bench(tmp_path, "one.json", work=100), history)
+    monkeypatch.setenv("REPRO_COMMIT", "c2")
+    snapshot(_write_bench(tmp_path, "two.json", work=90), history)
+    line = timeline(history)
+    assert [c["commit"] for c in line.columns] == ["c1", "c2"]
+    assert line.series("A_small", "work") == [100, 90]
+    assert line.series("A_small", "seconds_best") == [0.01, 0.01]
+    data = line.as_dict(measure="work")
+    assert data["scenarios"]["A_small"] == [100, 90]
+    table = line.table(measure="work")
+    assert "A_small" in table and "c1" in table and "c2" in table
+    assert "-10.0%" in table  # trend column vs the previous snapshot
+
+
+def test_timeline_handles_scenarios_that_come_and_go(tmp_path, monkeypatch):
+    history = tmp_path / "history"
+    monkeypatch.setenv("REPRO_COMMIT", "c1")
+    snapshot(_write_bench(tmp_path, "one.json"), history)
+    payload = _bench_payload()
+    payload["scenarios"].append(
+        dict(payload["scenarios"][0], name="B_new", work=70)
+    )
+    later = tmp_path / "two.json"
+    later.write_text(json.dumps(payload))
+    monkeypatch.setenv("REPRO_COMMIT", "c2")
+    snapshot(later, history)
+    line = timeline(history)
+    assert line.series("B_new", "work") == [None, 70]
+    assert line.series("A_small", "work") == [100, 100]
+
+
+def test_timeline_validates_measures(tmp_path):
+    empty = BenchTimeline(columns=[], rows={})
+    with pytest.raises(ConfigurationError, match="measure"):
+        empty.as_dict(measure="seconds")
+    assert "no bench snapshots" in empty.table()
+    assert timeline(tmp_path / "nowhere").columns == []
+
+
+def test_shipped_history_snapshot_loads():
+    snapshots = list_snapshots("benchmarks/history")
+    assert snapshots, "the repo ships at least one bench snapshot"
+    line = timeline("benchmarks/history")
+    assert "D_n4096_t64" in line.scenarios

@@ -246,3 +246,64 @@ def test_suite_run_reuses_the_cache():
     assert [entry.observed for entry in warm.entries] == [
         entry.observed for entry in cold.entries
     ]
+
+
+# ---- journal compaction -----------------------------------------------------
+
+
+def test_compact_rewrites_dead_journal_lines(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    cache = ResultCache(path=path)
+    result = _scenario().run()
+    key = _scenario().cache_key()
+    for _ in range(5):  # re-stores accumulate dead lines
+        cache.put(key, result)
+    other = _scenario(seed=8)
+    cache.put(other.cache_key(), other.run())
+    assert len(path.read_text().splitlines()) == 6
+    stats = cache.compact()
+    assert stats == {
+        "entries": 2,
+        "lines_before": 6,
+        "lines_after": 2,
+        "bytes_before": stats["bytes_before"],
+        "bytes_after": stats["bytes_after"],
+    }
+    assert stats["bytes_after"] < stats["bytes_before"]
+    assert len(path.read_text().splitlines()) == 2
+
+
+def test_compacted_journal_replays_to_an_equal_cache(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    cache = ResultCache(path=path)
+    scenarios = [_scenario(seed=seed) for seed in range(4)]
+    for scenario in scenarios:
+        cache.put(scenario.cache_key(), scenario.run())
+        cache.put(scenario.cache_key(), scenario.run())  # dead duplicate
+    cache.compact()
+    reborn = ResultCache(path=path)
+    assert len(reborn) == 4
+    for scenario in scenarios:
+        assert reborn.get(scenario.cache_key()) == cache.get(
+            scenario.cache_key()
+        )
+
+
+def test_compact_through_an_lru_drops_evicted_entries(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    unbounded = ResultCache(path=path)
+    for seed in range(5):
+        scenario = _scenario(seed=seed)
+        unbounded.put(scenario.cache_key(), scenario.run())
+    # Replay through a 2-entry LRU: only the 2 most recent survive.
+    bounded = ResultCache(max_entries=2, path=path)
+    stats = bounded.compact()
+    assert stats["lines_before"] == 5
+    assert stats["lines_after"] == 2
+    assert _scenario(seed=4).cache_key() in bounded
+    assert _scenario(seed=0).cache_key() not in bounded
+
+
+def test_compact_requires_a_journal():
+    with pytest.raises(ConfigurationError, match="journal"):
+        ResultCache().compact()

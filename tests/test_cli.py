@@ -226,3 +226,123 @@ def test_run_d_recovery_with_crash_recover_spec(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["metrics"]["recoveries"] == payload["metrics"]["crashes"]
     assert payload["completed"]
+
+
+# ---- campaign / cache / bench verbs -----------------------------------------
+
+
+def _campaign_file(tmp_path, **overrides):
+    data = {
+        "campaign": "cli-grid",
+        "version": 1,
+        "base": {"protocol": "A", "n": 8, "t": 2, "seed": 0},
+        "axes": {
+            "protocols": ["A", "D"],
+            "seeds": {"start": 0, "count": 5},
+        },
+        "chunk_size": 4,
+    }
+    data.update(overrides)
+    path = tmp_path / "grid.json"
+    path.write_text(json.dumps(data))
+    return path
+
+
+def test_campaign_plan(tmp_path, capsys):
+    path = _campaign_file(tmp_path)
+    assert main(["campaign", "plan", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "cli-grid" in out and "10 runs" in out and "3 chunks" in out
+    assert main(["campaign", "plan", str(path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["runs"] == 10 and payload["chunks"] == 3
+
+
+def test_campaign_run_interrupt_resume_status_report(tmp_path, capsys):
+    path = _campaign_file(tmp_path)
+    ledger = tmp_path / "grid.ledger"
+
+    # Interrupted run: exit 1, status shows partial progress.
+    assert main(
+        ["campaign", "run", str(path), "--ledger", str(ledger),
+         "--max-chunks", "1"]
+    ) == 1
+    capsys.readouterr()
+    assert main(["campaign", "status", str(path), "--ledger", str(ledger)]) == 1
+    assert "1/3 chunks" in capsys.readouterr().out
+
+    # Resume completes and prints the per-cell table.
+    assert main(["campaign", "resume", str(path), "--ledger", str(ledger)]) == 0
+    out = capsys.readouterr().out
+    assert "cli-grid" in out and "adversary" in out
+    assert main(["campaign", "status", str(path), "--ledger", str(ledger)]) == 0
+    assert "COMPLETE" in capsys.readouterr().out
+
+    # Report artifact round-trips and carries the results section.
+    artifact = tmp_path / "report.json"
+    assert main(
+        ["campaign", "report", str(path), "--ledger", str(ledger),
+         "--out", str(artifact)]
+    ) == 0
+    capsys.readouterr()
+    payload = json.loads(artifact.read_text())
+    assert payload["complete"] is True
+    assert payload["results"]["runs"] == 10
+
+
+def test_campaign_resume_requires_an_existing_ledger(tmp_path, capsys):
+    path = _campaign_file(tmp_path)
+    code = main(
+        ["campaign", "resume", str(path), "--ledger", str(tmp_path / "no.ledger")]
+    )
+    assert code == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_campaign_pin_failure_exits_one(tmp_path, capsys):
+    path = _campaign_file(tmp_path, pins={"work": 1})
+    ledger = tmp_path / "grid.ledger"
+    assert main(["campaign", "run", str(path), "--ledger", str(ledger)]) == 1
+    assert "pinned" in capsys.readouterr().err
+
+
+def test_cache_compact_verb(tmp_path, capsys):
+    journal = tmp_path / "cache.jsonl"
+    from repro.cache import ResultCache
+
+    cache = ResultCache(path=journal)
+    scenario = Scenario(protocol="A", n=8, t=2, seed=0)
+    cache.put(scenario.cache_key(), scenario.run())
+    cache.put(scenario.cache_key(), scenario.run())
+    assert main(["cache", "compact", str(journal)]) == 0
+    assert "2 -> 1 lines" in capsys.readouterr().out
+    assert main(["cache", "compact", str(tmp_path / "absent.jsonl")]) == 2
+
+
+def test_bench_snapshot_and_timeline_verbs(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_COMMIT", "cli01")
+    bench = tmp_path / "bench.json"
+    bench.write_text(json.dumps({
+        "suite": "engine",
+        "scenarios": [{
+            "name": "A_small", "completed": True,
+            "seconds_best": 0.5, "work": 10, "messages": 5,
+            "virtual_rounds": 3,
+        }],
+    }))
+    history = tmp_path / "history"
+    assert main(
+        ["bench", "snapshot", "--bench", str(bench), "--dir", str(history)]
+    ) == 0
+    assert "0001_cli01.json" in capsys.readouterr().out
+    assert main(["bench", "timeline", "--dir", str(history)]) == 0
+    assert "A_small" in capsys.readouterr().out
+    assert main(
+        ["bench", "timeline", "--dir", str(history), "--measure", "work",
+         "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["scenarios"]["A_small"] == [10]
+    assert main(
+        ["bench", "timeline", "--dir", str(history), "--measure", "bogus"]
+    ) == 2

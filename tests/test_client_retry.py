@@ -1,0 +1,124 @@
+"""Client retry-with-backoff: transient connection errors retry on a
+bounded deterministic schedule; HTTP answers never retry."""
+
+import io
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.client import Client
+from repro.errors import ConfigurationError, ServerError
+
+
+class _Transport:
+    """Scripted stand-in for ``urllib.request.urlopen``: pops one
+    outcome per call (an exception instance to raise, or a payload
+    dict to serve)."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.calls = 0
+
+    def __call__(self, request, timeout=None):
+        self.calls += 1
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        body = json.dumps(outcome).encode("utf-8")
+
+        class _Response(io.BytesIO):
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                self.close()
+
+        return _Response(body)
+
+
+def _client(monkeypatch, outcomes, **kwargs):
+    transport = _Transport(outcomes)
+    monkeypatch.setattr(urllib.request, "urlopen", transport)
+    client = Client("http://127.0.0.1:9", **kwargs)
+    sleeps = []
+    client._sleep = sleeps.append
+    return client, transport, sleeps
+
+
+def _refused():
+    return urllib.error.URLError(ConnectionRefusedError(111, "refused"))
+
+
+def test_transient_failure_retries_then_succeeds(monkeypatch):
+    client, transport, sleeps = _client(
+        monkeypatch, [_refused(), _refused(), {"ok": True}]
+    )
+    assert client.about() == {"ok": True}
+    assert transport.calls == 3
+    # Deterministic exponential schedule: backoff * 2**i.
+    assert sleeps == [0.05, 0.1]
+
+
+def test_exhausted_attempts_raise_server_error_naming_the_count(monkeypatch):
+    client, transport, sleeps = _client(
+        monkeypatch, [_refused()] * 4, attempts=4, backoff=0.01
+    )
+    with pytest.raises(ServerError, match="after 4 attempts"):
+        client.about()
+    assert transport.calls == 4
+    assert sleeps == [0.01, 0.02, 0.04]
+
+
+def test_single_attempt_never_sleeps(monkeypatch):
+    client, transport, sleeps = _client(monkeypatch, [_refused()], attempts=1)
+    with pytest.raises(ServerError, match="after 1 attempt:"):
+        client.about()
+    assert transport.calls == 1
+    assert sleeps == []
+
+
+def test_http_errors_are_answers_not_retried(monkeypatch):
+    body = json.dumps(
+        {"error": {"type": "ConfigurationError", "message": "bad n"}}
+    ).encode("utf-8")
+    error = urllib.error.HTTPError(
+        "http://127.0.0.1:9/jobs", 400, "Bad Request", {}, io.BytesIO(body)
+    )
+    client, transport, sleeps = _client(monkeypatch, [error])
+    with pytest.raises(ConfigurationError, match="bad n"):
+        client.submit({"scenario": {"protocol": "A", "n": 4, "t": 2}})
+    assert transport.calls == 1  # no second attempt for an HTTP answer
+    assert sleeps == []
+
+
+def test_recovery_mid_schedule_stops_retrying(monkeypatch):
+    client, transport, sleeps = _client(
+        monkeypatch, [_refused(), {"ok": 1}, _refused()]
+    )
+    assert client.about() == {"ok": 1}
+    assert transport.calls == 2
+    assert sleeps == [0.05]
+    assert len(transport.outcomes) == 1  # the third outcome never consumed
+
+
+def test_retry_delays_are_a_pure_function_of_the_settings():
+    client = Client("http://127.0.0.1:9", attempts=5, backoff=0.2)
+    assert client._retry_delays() == [0.2, 0.4, 0.8, 1.6]
+    assert Client("http://127.0.0.1:9", attempts=1)._retry_delays() == []
+
+
+@pytest.mark.parametrize(
+    "kwargs, message",
+    [
+        ({"attempts": 0}, "attempts"),
+        ({"attempts": True}, "attempts"),
+        ({"attempts": 1.5}, "attempts"),
+        ({"backoff": -0.1}, "backoff"),
+        ({"backoff": "fast"}, "backoff"),
+    ],
+)
+def test_retry_settings_validate(kwargs, message):
+    with pytest.raises(ConfigurationError, match=message):
+        Client("http://127.0.0.1:9", **kwargs)
