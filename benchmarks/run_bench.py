@@ -33,6 +33,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.api import Scenario  # noqa: E402
+from repro.sim.columnar import HAVE_NUMPY  # noqa: E402
 
 SMOKE_SCENARIOS = [
     {
@@ -104,6 +105,18 @@ SMOKE_SCENARIOS = [
         "t": 8,
         "adversary": "crash-recover:3,repair_delay=5,max_action_index=15",
         "seed": 1,
+    },
+    {
+        # Columnar (numpy) delivery fast path at smoke size: same shape
+        # as D_broadcast_smoke but with fastpath pinned on, so CI proves
+        # the columnar store runs (fastpath="on" raises without numpy).
+        "name": "D_columnar_smoke",
+        "protocol": "D",
+        "n": 256,
+        "t": 64,
+        "adversary": "random:4,max_action_index=15",
+        "seed": 1,
+        "fastpath": "on",
     },
 ]
 
@@ -184,12 +197,37 @@ FULL_SCENARIOS = [
         # The lazy-broadcast tentpole scenario: Theta(t) = 1024-recipient
         # agreement broadcasts every phase round (~8M message copies),
         # committed as shared-payload Broadcast objects end to end.
+        # Default fastpath ("auto") - the columnar path when numpy is
+        # importable; the pinned variants below track both paths.
         "name": "D_n4096_t1024",
         "protocol": "D",
         "n": 4096,
         "t": 1024,
         "adversary": "random:8,max_action_index=30",
         "seed": 1,
+    },
+    {
+        # Columnar-path tentpole, pinned on: vectorized commit/drain and
+        # word-parallel agreement folds.  Identical metrics to the "off"
+        # row is part of the contract (the fuzz harness pins it).
+        "name": "D_n4096_t1024_fastpath_on",
+        "protocol": "D",
+        "n": 4096,
+        "t": 1024,
+        "adversary": "random:8,max_action_index=30",
+        "seed": 1,
+        "fastpath": "on",
+    },
+    {
+        # Pure-python baseline, pinned off: the denominator for the
+        # columnar speedup headline in docs/perf.md.
+        "name": "D_n4096_t1024_fastpath_off",
+        "protocol": "D",
+        "n": 4096,
+        "t": 1024,
+        "adversary": "random:8,max_action_index=30",
+        "seed": 1,
+        "fastpath": "off",
     },
 ]
 
@@ -206,6 +244,12 @@ def run(smoke: bool, repeat: int, out_path: Path) -> int:
     results = []
     failures = 0
     for name, scenario in _scenarios(smoke):
+        if scenario.fastpath == "on" and not HAVE_NUMPY:
+            # Pinned-columnar rows need the optional numpy extra; their
+            # absence is an environment fact, not a perf regression.
+            print(f"{name}: SKIPPED (fastpath='on' requires numpy)")
+            results.append({"name": name, "skipped": "numpy not installed"})
+            continue
         timings = []
         result = None
         try:

@@ -113,6 +113,7 @@ from repro.analysis.tables import render_table
 from repro.api import ENGINE_CHOICES, Scenario
 from repro.core.registry import available_protocols, get_entry
 from repro.errors import ConfigurationError
+from repro.sim.columnar import FASTPATH_CHOICES
 
 
 def _adversary_spec(args):
@@ -157,6 +158,7 @@ def _scenario_from_args(args, protocol: str) -> Scenario:
         adversary=_adversary_spec(args),
         delay=getattr(args, "delay", None),
         congestion=getattr(args, "congestion", None),
+        fastpath=getattr(args, "fastpath", "auto"),
         options=options,
     )
 
@@ -691,6 +693,14 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="SPEC",
             help="arrival-schedule spec for dynamic-workload protocols "
             "(D-dynamic), e.g. 'arrivals:0x8,3x4' or 'uniform:every=2'",
+        )
+        p.add_argument(
+            "--fastpath",
+            choices=list(FASTPATH_CHOICES),
+            default="auto",
+            help="columnar numpy delivery path for the sync engine: auto "
+            "uses it when numpy is importable, on requires it, off forces "
+            "the pure-python path (bit-identical either way)",
         )
         p.add_argument(
             "--crashes",

@@ -67,6 +67,7 @@ from repro.sim.congestion import (
     congestion_from_spec,
     normalize_congestion_spec,
 )
+from repro.sim.columnar import FASTPATH_CHOICES
 from repro.sim.engine import Engine
 from repro.sim.failure_detector import FailureDetector
 from repro.sim.specs import normalize_schedule_spec
@@ -111,6 +112,12 @@ class Scenario:
         allow_total_failure: tolerate all-crashed executions (sync).
         max_steps / max_rounds: sync engine budgets.
         max_events: async engine budget.
+        fastpath: columnar numpy delivery path for the sync engine -
+            ``"auto"`` (use numpy when installed; the default),
+            ``"on"`` (require it; errors when the ``repro[fast]`` extra
+            is missing) or ``"off"`` (pure python).  Results are
+            bit-identical either way, so the field is excluded from
+            :meth:`canonical_dict` / :meth:`cache_key`.
         options: extra keyword arguments for the protocol builder
             (e.g. ``interval`` for ``naive``, ``revert_threshold`` for
             ``D``, ``step_delay`` for ``A-async``).
@@ -133,6 +140,7 @@ class Scenario:
     max_steps: int = DEFAULT_MAX_STEPS
     max_rounds: Optional[int] = None
     max_events: int = DEFAULT_MAX_EVENTS
+    fastpath: str = "auto"
     options: Dict[str, Any] = field(default_factory=dict)
     name: Optional[str] = None
 
@@ -141,6 +149,11 @@ class Scenario:
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; choices: "
                 + ", ".join(ENGINE_CHOICES)
+            )
+        if self.fastpath not in FASTPATH_CHOICES:
+            raise ConfigurationError(
+                f"unknown fastpath {self.fastpath!r}; choices: "
+                + ", ".join(FASTPATH_CHOICES)
             )
         registry.get_entry(self.protocol)  # fail fast with the name listing
         if self.n <= 0 or self.t <= 0:
@@ -212,6 +225,11 @@ class Scenario:
                     "'strict_invariants' and 'max_rounds' are sync-engine "
                     "knobs; the async budget is 'max_events'"
                 )
+            if self.fastpath != "auto":
+                raise ConfigurationError(
+                    "'fastpath' is a sync-engine knob; protocol "
+                    f"{self.protocol!r} runs on the async engine"
+                )
 
     def validate(self) -> None:
         """Check the cross-field constraints that :meth:`run` would hit.
@@ -240,6 +258,11 @@ class Scenario:
         """
         data = self.to_dict()
         data.pop("name", None)
+        # The columnar fast path is bit-identical by contract (the
+        # differential fuzz harness pins it), so it is not part of the
+        # scenario's semantic identity: a fastpath-on run must hit a
+        # fastpath-off cache entry and vice versa.
+        data.pop("fastpath", None)
         data["engine"] = self.resolved_engine
         return data
 
@@ -307,6 +330,7 @@ class Scenario:
                 trace=trace,
                 unit_effect=unit_effect,
                 congestion=congestion_from_spec(self.congestion),
+                fastpath=self.fastpath,
             )
         else:
             if trace is not None or unit_effect is not None:
@@ -375,6 +399,8 @@ class Scenario:
             data["max_rounds"] = self.max_rounds
         if self.max_events != DEFAULT_MAX_EVENTS:
             data["max_events"] = self.max_events
+        if self.fastpath != "auto":
+            data["fastpath"] = self.fastpath
         if self.options:
             data["options"] = dict(self.options)
         return data
@@ -408,7 +434,7 @@ class Scenario:
                 raise ConfigurationError(
                     f"scenario field {name!r} must be an integer, got {value!r}"
                 )
-        for name in ("protocol", "engine", "name"):
+        for name in ("protocol", "engine", "name", "fastpath"):
             value = data.get(name)
             if name in data and not isinstance(value, str):
                 raise ConfigurationError(

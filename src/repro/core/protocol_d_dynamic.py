@@ -36,12 +36,92 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 from repro.errors import ConfigurationError
 from repro.sim.actions import Action, Broadcast, Envelope, MessageKind
 from repro.sim.bitset import IntBitset
+from repro.sim.columnar import (
+    KIND_CODES,
+    ColumnarInbox,
+    bit_test,
+    dedup_last_wins,
+    int_to_words,
+    np,
+    or_srcs_mask,
+    words_to_int,
+)
 from repro.sim.process import Process
 
 Arrival = Tuple[int, int, int]  # (round, site pid, unit)
 
 _AGREE = "agree"
 _WORK = "work"
+
+
+class _DynAgreeCache:
+    """Columnar decoded-payload cache for the dynamic agreement fold.
+
+    The dynamic payload is ``(cycle_start, known, done, live, flag)``;
+    ``known``/``done`` are unit sets (bounded by the schedule's largest
+    unit, shared by every process of a run), ``live`` is a pid set.
+    ``cycle`` is object dtype: cycle starts are round numbers, which the
+    arrival schedule may place arbitrarily far out (``None`` marks
+    non-AGREEMENT payload ids - it never equals a cycle start).
+    """
+
+    __slots__ = (
+        "width_n", "width_t", "filled",
+        "cycle", "flag", "known_words", "done_words", "live_words",
+    )
+
+    def __init__(self, schedule: "ArrivalSchedule", t: int):
+        max_unit = max(schedule.units, default=0)
+        self.width_n = (max_unit + 64) >> 6
+        self.width_t = max(1, (t + 63) >> 6)
+        self.filled = 0
+        capacity = 256
+        self.cycle = np.full(capacity, None, dtype=object)
+        self.flag = np.zeros(capacity, dtype=bool)
+        self.known_words = np.zeros((capacity, self.width_n), dtype=np.uint64)
+        self.done_words = np.zeros((capacity, self.width_n), dtype=np.uint64)
+        self.live_words = np.zeros((capacity, self.width_t), dtype=np.uint64)
+
+    def ensure(self, store) -> None:
+        total = store.payload_count()
+        if self.filled >= total:
+            return
+        if total > len(self.cycle):
+            capacity = len(self.cycle)
+            while capacity < total:
+                capacity *= 2
+            cycle = np.full(capacity, None, dtype=object)
+            cycle[: self.filled] = self.cycle[: self.filled]
+            self.cycle = cycle
+            for name, width in (
+                ("flag", 0),
+                ("known_words", self.width_n),
+                ("done_words", self.width_n),
+                ("live_words", self.width_t),
+            ):
+                old = getattr(self, name)
+                shape = (capacity, width) if width else capacity
+                new = np.zeros(shape, dtype=old.dtype)
+                new[: self.filled] = old[: self.filled]
+                setattr(self, name, new)
+        code = KIND_CODES[MessageKind.AGREEMENT]
+        bytes_n, bytes_t = self.width_n * 8, self.width_t * 8
+        for payload_id in range(self.filled, total):
+            if store.payload_kind_code(payload_id) != code:
+                continue
+            payload = store.payload(payload_id)
+            self.cycle[payload_id] = payload[0]
+            self.flag[payload_id] = payload[4]
+            self.known_words[payload_id] = np.frombuffer(
+                payload[1]._bits.to_bytes(bytes_n, "little"), dtype="<u8"
+            )
+            self.done_words[payload_id] = np.frombuffer(
+                payload[2]._bits.to_bytes(bytes_n, "little"), dtype="<u8"
+            )
+            self.live_words[payload_id] = np.frombuffer(
+                payload[3]._bits.to_bytes(bytes_t, "little"), dtype="<u8"
+            )
+        self.filled = total
 
 
 class ArrivalSchedule:
@@ -176,6 +256,8 @@ class DynamicProtocolDProcess(Process):
             self._broadcast_pending = False
             self._u_snapshot = self._U.copy()
             return Action(sends=self._agree_broadcast(False))
+        if isinstance(inbox, ColumnarInbox) and len(inbox):
+            return self._agree_round_fast(round_number, inbox)
         received: Dict[int, tuple] = {}
         for envelope in sorted(inbox, key=attrgetter("sent_round")):
             if envelope.kind is not MessageKind.AGREEMENT:
@@ -212,6 +294,63 @@ class DynamicProtocolDProcess(Process):
             heard = IntBitset.from_iterable(received)
             heard.add(self.pid)
             self._U -= snapshot - heard
+        return self._agree_tail(round_number)
+
+    def _agree_round_fast(self, round_number: int, inbox: ColumnarInbox) -> Action:
+        """Columnar twin of the receive half above: same dedup, fold,
+        adoption and silent-removal rules, evaluated on the store's
+        decoded-payload columns without materialising envelopes.  A
+        drain's rows ascend and stamps are non-decreasing in row order,
+        so the slow path's stable ``sorted`` is the identity here.
+        """
+        store = inbox.store
+        cache = store.cache(
+            "protocol-d-dynamic", lambda: _DynAgreeCache(self.schedule, self.t)
+        )
+        cache.ensure(store)
+        payload_ids = inbox.payload_ids()
+        # Cycle filter doubles as the kind filter: non-AGREEMENT ids
+        # keep the None sentinel, which equals no cycle start.
+        keep = cache.cycle[payload_ids] == self._cycle_start
+        if not keep.any():
+            return self._agree_tail_empty(round_number)
+        payload_ids = payload_ids[keep]
+        srcs = store._src[inbox.rows[keep]]
+        flags = cache.flag[payload_ids]
+        winners = dedup_last_wins(srcs, flags)
+        w_src = srcs[winners]
+        w_flag = flags[winners]
+        w_pid = payload_ids[winners]
+        snapshot_bits = self._u_snapshot.to_int() & ~(1 << self.pid)
+        snap_words = int_to_words(snapshot_bits, cache.width_t)
+        admitted = ~w_flag & bit_test(snap_words, w_src).astype(bool)
+        if admitted.any():
+            admitted_ids = w_pid[admitted]
+            known_fold = np.bitwise_or.reduce(cache.known_words[admitted_ids], axis=0)
+            done_fold = np.bitwise_or.reduce(cache.done_words[admitted_ids], axis=0)
+            live_fold = np.bitwise_or.reduce(cache.live_words[admitted_ids], axis=0)
+            self.known = IntBitset(self.known.to_int() | words_to_int(known_fold))
+            self.done = IntBitset(self.done.to_int() | words_to_int(done_fold))
+            self.live = IntBitset(self.live.to_int() | words_to_int(live_fold))
+        if w_flag.any():
+            # Winners ascend by src; the highest flagged src's view wins,
+            # matching the slow path's sorted adoption loop.
+            adopted = store.payload(int(w_pid[np.nonzero(w_flag)[0][-1]]))
+            self.known = adopted[1].thaw()
+            self.done = adopted[2].thaw()
+            self.live = adopted[3].thaw()
+            self._agree_done = True
+        if self._round_var >= 1:
+            heard_bits = or_srcs_mask(w_src, cache.width_t) | (1 << self.pid)
+            self._U -= IntBitset(self._u_snapshot.to_int() & ~heard_bits)
+        return self._agree_tail(round_number)
+
+    def _agree_tail_empty(self, round_number: int) -> Action:
+        if self._round_var >= 1:
+            self._U -= self._u_snapshot - IntBitset.singleton(self.pid)
+        return self._agree_tail(round_number)
+
+    def _agree_tail(self, round_number: int) -> Action:
         if (
             not self._agree_done
             and self._round_var >= 1

@@ -178,6 +178,7 @@ def run_protocol(
     trace: Optional[Trace] = None,
     unit_effect=None,
     congestion=None,
+    fastpath: str = "auto",
     **options,
 ) -> RunResult:
     """Build, run and account one *synchronous* execution of ``name`` on
@@ -211,6 +212,7 @@ def run_protocol(
         trace=trace,
         unit_effect=unit_effect,
         congestion=congestion_from_spec(congestion),
+        fastpath=fastpath,
     )
     return engine.run()
 

@@ -111,6 +111,7 @@ from repro.sim.actions import (
     SharedEnvelope,
     pack_sends,
 )
+from repro.sim.columnar import ColumnarMailboxes, resolve_fastpath
 from repro.sim.congestion import CongestionBudget
 from repro.sim.crashes import CrashDirective
 from repro.sim.metrics import Metrics, RunResult
@@ -139,6 +140,7 @@ class Engine:
         unit_effect: Optional[UnitEffectFn] = None,
         trace: Optional[Trace] = None,
         congestion: Optional[CongestionBudget] = None,
+        fastpath: str = "auto",
     ):
         self.processes: List[Process] = list(processes)
         self.t = len(self.processes)
@@ -165,6 +167,17 @@ class Engine:
         # Mailboxes hold Envelope tuples (point-to-point, legacy batches)
         # and EnvelopeView objects (broadcast deliveries) interchangeably.
         self._mailboxes: Dict[int, List] = {p.pid: [] for p in self.processes}
+        # Columnar fast path (see repro.sim.columnar): when resolved on,
+        # ``_fast`` replaces the per-copy mailboxes as the delivery store
+        # - same stamps, same order, same budgets, bit-identical results.
+        # ``_noted_mask`` tracks which pids already had their due round
+        # lowered this round (all same-round posts imply the same due),
+        # replacing the slow path's per-copy _note_mail calls.
+        self.fastpath = fastpath
+        self._fast: Optional[ColumnarMailboxes] = (
+            ColumnarMailboxes(self.t) if resolve_fastpath(fastpath) else None
+        )
+        self._noted_mask: int = 0
         # Event index: see module docstring.
         self._heap: List[Tuple[int, int]] = []
         self._due: Dict[int, Optional[int]] = {}
@@ -256,12 +269,19 @@ class Engine:
                 self.metrics.record_retire(pid, process.crash_round)
             if process.halt_round is not None:
                 self.metrics.record_retire(pid, process.halt_round)
-            self._mailboxes[pid].clear()
+            if self._fast is not None:
+                self._fast.clear(pid)
+            else:
+                self._mailboxes[pid].clear()
             return
         self._live.add(pid)
         self._live_mask |= 1 << pid
-        mailbox = self._mailboxes[pid]
-        due = mailbox[0].sent_round + 1 if mailbox else None
+        if self._fast is not None:
+            head = self._fast.head_stamp(pid)
+            due = head + 1 if head is not None else None
+        else:
+            mailbox = self._mailboxes[pid]
+            due = mailbox[0].sent_round + 1 if mailbox else None
         wake = process.wake_round()
         if wake is not None and (due is None or wake < due):
             due = wake
@@ -277,6 +297,21 @@ class Engine:
         if cached is None or cached > due:
             self._due[dst] = due
             heappush(self._heap, (due, dst))
+
+    def _note_fast(self, dst: int, sent_round: int) -> None:
+        """Fast-path :meth:`_note_mail` memoized per round.
+
+        Every post within one processed round implies the same due round
+        (``sent_round + 1``), and ``_note_mail`` only ever *lowers* a
+        cached due, so once a pid has been noted this round further
+        notes are no-ops.  Pids whose due entry was popped by
+        ``_collect_due_pids`` (they stepped this round) are refreshed
+        unconditionally after commit, so skipping them here is safe too.
+        """
+        bit = 1 << dst
+        if not self._noted_mask & bit:
+            self._noted_mask |= bit
+            self._note_mail(dst, sent_round)
 
     def _next_due_round(self) -> Optional[int]:
         heap, due_map = self._heap, self._due
@@ -320,6 +355,7 @@ class Engine:
 
     def _process_round(self, round_number: int) -> None:
         self.round = round_number
+        self._noted_mask = 0
         # Rejoins first (a rejoined process may act this very round and
         # may receive this round's deferred flushes), then deferred
         # congestion departures (stamped this round, visible next round).
@@ -353,12 +389,19 @@ class Engine:
         if self.strict_invariants:
             self._check_single_active(round_number)
 
-    def _drain_mailbox(self, pid: int, round_number: int) -> List:
+    def _drain_mailbox(self, pid: int, round_number: int) -> Sequence:
         """Split off (and return) all mail stamped before ``round_number``.
 
         Mailboxes are sorted by stamp (posts happen at strictly
-        increasing processed rounds), so delivery is a prefix split.
+        increasing processed rounds), so delivery is a prefix split - a
+        list slice on the slow path, a vectorized ``searchsorted`` over
+        the columnar store (returning a lazy ``ColumnarInbox``) on the
+        fast path.
         """
+        if self._fast is not None:
+            congestion = self.congestion
+            receive = congestion.receive if congestion is not None else None
+            return self._fast.drain(pid, round_number, receive)
         mailbox = self._mailboxes[pid]
         if not mailbox or mailbox[0].sent_round >= round_number:
             return []
@@ -555,10 +598,14 @@ class Engine:
             )
         dst = send.dst
         if 0 <= dst < self.t and not self.processes[dst].retired:
-            self._mailboxes[dst].append(
-                Envelope(src, dst, send.payload, send.kind, round_number)
-            )
-            self._note_mail(dst, round_number)
+            if self._fast is not None:
+                self._fast.post_p2p(src, dst, send.payload, send.kind, round_number)
+                self._note_fast(dst, round_number)
+            else:
+                self._mailboxes[dst].append(
+                    Envelope(src, dst, send.payload, send.kind, round_number)
+                )
+                self._note_mail(dst, round_number)
 
     def _post_batch(self, src: int, sends: SendBatch, round_number: int) -> None:
         """Post one round's send batch from ``src``.
@@ -614,6 +661,14 @@ class Engine:
                 )
         t = self.t
         processes = self.processes
+        fast = self._fast
+        if fast is not None:
+            for send in sends:
+                dst = send.dst
+                if 0 <= dst < t and not processes[dst].retired:
+                    fast.post_p2p(src, dst, send.payload, send.kind, round_number)
+                    self._note_fast(dst, round_number)
+            return
         mailboxes = self._mailboxes
         due_map = self._due
         heap = self._heap
@@ -641,18 +696,40 @@ class Engine:
             kind_value = kind.value
             for dst in bcast.recipients:
                 trace.emit(round_number, "send", src, (kind_value, dst, payload))
+        # Restricting to live recipients is one mask ``&`` (the live mask
+        # only holds pids < t, so out-of-range dsts drop too).
+        bits = bcast.recipients.to_int() & self._live_mask
+        if self._fast is not None:
+            if bits:
+                self._fast.post_broadcast(src, payload, kind, round_number, bits)
+                # Due-round notes collapse to one pass over the pids not
+                # yet noted this round (all same-round posts share the
+                # same due); typically empty after the round's first
+                # broadcast.
+                new = bits & ~self._noted_mask
+                if new:
+                    self._noted_mask |= new
+                    due_map = self._due
+                    heap = self._heap
+                    next_due = round_number + 1
+                    while new:
+                        low = new & -new
+                        new ^= low
+                        dst = low.bit_length() - 1
+                        cached = due_map.get(dst)
+                        if cached is None or cached > next_due:
+                            due_map[dst] = next_due
+                            heappush(heap, (next_due, dst))
+            return
         mailboxes = self._mailboxes
         due_map = self._due
         heap = self._heap
         next_due = round_number + 1
         shared = SharedEnvelope(src, payload, kind, round_number)
-        # Restricting to live recipients is one mask ``&`` (the live mask
-        # only holds pids < t, so out-of-range dsts drop too); the loop
-        # then uses inlined low-bit extraction - the recipient walk runs
-        # Theta(t) times per broadcast, so skipping both the per-dst
+        # The loop uses inlined low-bit extraction - the recipient walk
+        # runs Theta(t) times per broadcast, so skipping both the per-dst
         # retirement check and the bitset generator's frame switches is
         # a measurable share of commit time.
-        bits = bcast.recipients.to_int() & self._live_mask
         while bits:
             low = bits & -bits
             bits ^= low

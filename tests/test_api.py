@@ -202,6 +202,33 @@ def test_scenario_missing_required_fields():
         Scenario.from_dict({"protocol": "a", "n": 8})
 
 
+def test_unknown_fastpath_value_is_rejected_with_choices():
+    for build in (
+        lambda: Scenario(protocol="a", n=8, t=2, fastpath="turbo"),
+        lambda: Scenario.from_dict(
+            {"protocol": "a", "n": 8, "t": 2, "fastpath": "turbo"}
+        ),
+    ):
+        with pytest.raises(ConfigurationError) as excinfo:
+            build()
+        message = str(excinfo.value)
+        assert "fastpath" in message and "'turbo'" in message
+        for choice in ("auto", "on", "off"):
+            assert choice in message
+
+
+def test_fastpath_round_trips_and_default_stays_implicit():
+    explicit = Scenario(protocol="a", n=8, t=2, fastpath="off")
+    assert explicit.to_dict()["fastpath"] == "off"
+    assert Scenario.from_dict(explicit.to_dict()) == explicit
+    assert "fastpath" not in Scenario(protocol="a", n=8, t=2).to_dict()
+
+
+def test_fastpath_is_a_sync_engine_knob():
+    with pytest.raises(ConfigurationError, match="sync"):
+        Scenario(protocol="A-async", n=8, t=2, fastpath="off").run()
+
+
 # ---- engine-aware registry ---------------------------------------------------
 
 

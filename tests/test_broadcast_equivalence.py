@@ -95,6 +95,13 @@ class _ExpandedEngine(Engine):
     kind-count bump and one :class:`Envelope` tuple per copy, no packing,
     no shared envelopes."""
 
+    def __init__(self, *args, **kwargs):
+        # The oracle appends straight into the per-copy mailboxes, so it
+        # must run the pure-python store (the packed engine under test
+        # keeps its default fastpath, making this a cross-path oracle).
+        kwargs["fastpath"] = "off"
+        super().__init__(*args, **kwargs)
+
     def _post_batch(self, src: int, sends: List[Send], round_number: int) -> None:
         kind_counts: Dict[MessageKind, int] = {}
         for send in sends:

@@ -60,6 +60,15 @@ def test_cache_key_tracks_semantic_changes(changes):
     assert _scenario().cache_key() != _scenario(**changes).cache_key()
 
 
+def test_cache_key_ignores_the_fastpath_knob():
+    # fastpath swaps the delivery *implementation*, never the observable
+    # result (the differential fuzz harness pins that equivalence), so
+    # it must not fragment the content address.
+    assert _scenario().cache_key() == _scenario(fastpath="off").cache_key()
+    assert _scenario().cache_key() == _scenario(fastpath="on").cache_key()
+    assert "fastpath" not in _scenario(fastpath="off").canonical_dict()
+
+
 def test_live_adversary_has_no_cache_key():
     scenario = Scenario(protocol="A", n=16, t=4, adversary=KillActive(2))
     with pytest.raises(ConfigurationError):
@@ -194,6 +203,24 @@ def test_run_scenarios_cache_echoes_the_requesting_scenario():
     assert cache.stats()["hits"] == 1
     assert result.config == named.to_dict()
     assert result.metrics == anonymous.run().metrics
+
+
+def test_fastpath_on_run_hits_a_fastpath_off_cache_entry():
+    # The cache key excludes fastpath, so a columnar run must reuse the
+    # result a pure-python run stored - and vice versa.  This only means
+    # something when numpy is importable (fastpath="on" refuses to run
+    # otherwise).
+    pytest.importorskip("numpy")
+    cache = ResultCache()
+    off = _scenario(fastpath="off")
+    on = _scenario(fastpath="on")
+    (cold,) = run_scenarios([off], cache=cache)
+    (warm,) = run_scenarios([on], cache=cache)
+    stats = cache.stats()
+    assert stats["misses"] == 1 and stats["stores"] == 1
+    assert stats["hits"] == 1
+    assert warm.metrics == cold.metrics
+    assert warm.config == on.to_dict()  # echo keeps the requested knob
 
 
 def test_run_scenarios_live_adversary_bypasses_the_cache():

@@ -187,6 +187,34 @@ def test_ledger_mid_file_corruption_is_an_error(tmp_path):
         CampaignState.load(spec, path)
 
 
+def test_ledger_header_line_tear_is_named_corruption(tmp_path):
+    # A torn line is only forgivable when it is the FINAL line (an
+    # interrupted append).  A torn header with intact chunk records
+    # after it can't be an interrupted append - the error must say so
+    # and name the line.
+    spec = _spec()
+    path = tmp_path / "grid.ledger"
+    run_campaign(spec, path)
+    lines = path.read_text().splitlines()
+    lines[0] = lines[0][:25]  # tear the header; chunk lines stay intact
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ConfigurationError) as excinfo:
+        CampaignState.load(spec, path)
+    message = str(excinfo.value)
+    assert "line 1" in message
+    assert "corruption" in message
+
+
+def test_ledger_lone_torn_header_is_unusable(tmp_path):
+    # A file holding only a torn header is indistinguishable from an
+    # interrupted header write: no digest to validate against, nothing
+    # to resume - the error tells the operator to start over.
+    path = tmp_path / "grid.ledger"
+    path.write_text('{"format": 1, "digest": "ab')
+    with pytest.raises(ConfigurationError, match="no complete header line"):
+        CampaignState.load(_spec(), path)
+
+
 def test_missing_ledger_is_an_empty_state(tmp_path):
     state = CampaignState.load(_spec(), tmp_path / "never-written.ledger")
     assert state.chunks_done == 0

@@ -10,7 +10,7 @@ import pytest
 from repro import run_protocol
 from repro.api import Scenario
 from repro.errors import ConfigurationError
-from repro.sim.actions import Action, Envelope, MessageKind, Send
+from repro.sim.actions import Action, Envelope, MessageKind, Send, broadcast
 from repro.sim.adversary import FixedSchedule
 from repro.sim.congestion import (
     CongestionBudget,
@@ -146,6 +146,56 @@ def test_deferred_sends_survive_the_senders_crash():
     # The wire already holds all four copies; the crash at round 1 kills
     # the sender, not its in-flight backlog.
     assert sum(arrivals(receiver).values()) == 4
+
+
+class RecoveringScript(Script):
+    """Script that accepts crash-recover faults; its "checkpoint" is the
+    remaining step list, which the crash never touched."""
+
+    supports_recovery = True
+
+    def __init__(self, pid, t, steps):
+        super().__init__(pid, t, steps)
+        self.recovered_at = None
+
+    def on_recover(self, round_number: int) -> None:
+        self.recovered_at = round_number
+
+
+def test_deferred_broadcast_segment_reaches_a_crash_recovered_recipient():
+    # Budget 1 splits the broadcast {1,2,3} into per-round segments
+    # 0:{1}, 1:{2}, 2:{3}.  Pid 3 crashes at round 0 and rejoins at
+    # round 1 - strictly before its segment flushes at round 2 - so the
+    # flush-time liveness restriction must see it alive again and
+    # deliver its copy, not treat the crash-instant state as final.
+    sender = Script(
+        0,
+        4,
+        [
+            (0, Action(sends=broadcast([1, 2, 3], "hello", MessageKind.CONTROL))),
+            (10, Action.halting()),
+        ],
+    )
+    receivers = [
+        RecoveringScript(pid, 4, [(100, Action.halting())]) for pid in (1, 2, 3)
+    ]
+    engine = Engine(
+        [sender] + receivers,
+        congestion=CongestionBudget(send=1),
+        adversary=FixedSchedule(
+            [CrashDirective(pid=3, at_round=0, recover_after=1)]
+        ),
+    )
+    engine.run()
+    one, two, three = receivers
+    assert three.recovered_at == 1
+    assert arrivals(one) == {1: 1}
+    assert arrivals(two) == {2: 1}
+    # Flushed at round 2 (post-rejoin), landed at round 3.
+    assert arrivals(three) == {3: 1}
+    (envelope,) = [env for _, inbox in three.inboxes for env in inbox]
+    assert envelope.src == 0 and envelope.payload == "hello"
+    assert envelope.sent_round == 2
 
 
 def test_uncongested_engine_unchanged_by_none_budget():

@@ -1,0 +1,190 @@
+"""Randomized differential fuzz harness: fastpath on == off, bitwise.
+
+The columnar engine path (``repro.sim.columnar``) claims *bit-identical*
+behaviour to the pure-python path - same full metrics payloads, same
+trace event streams, same RNG draw order - under every protocol and
+fault kind.  This harness is the pin for that claim: a seeded stdlib
+``random`` generator (no hypothesis) draws ~200 scenario configs across
+all registered sync protocols x adversary specs (crash-recover, rack,
+cascade-neighbours, congestion budgets included) and runs each twice,
+``fastpath="off"`` vs ``fastpath="on"``, asserting equality of
+``Metrics.as_dict(full=True)``, the trace stream and the run outcome.
+
+On failure the reproducer ``Scenario`` JSON is printed in the assertion
+message and written to ``fuzz-reproducer.json`` (the CI fuzz-smoke step
+uploads it as an artifact).
+
+Environment knobs (for CI pinning and local soak runs):
+
+* ``REPRO_FUZZ_SEED``  - generator seed (default 20260808).
+* ``REPRO_FUZZ_COUNT`` - number of scenarios (default 200).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import random
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip(
+    "numpy", reason="fastpath='on' needs numpy; without it only the "
+    "pure-python path exists, so there is nothing to differentiate"
+)
+
+from repro.api import Scenario  # noqa: E402
+from repro.sim.trace import Trace  # noqa: E402
+
+SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260808"))
+COUNT = int(os.environ.get("REPRO_FUZZ_COUNT", "200"))
+
+REPRODUCER_PATH = Path("fuzz-reproducer.json")
+
+#: Every sync protocol in the registry (the async engine has no
+#: fastpath; Scenario rejects the field there, which test_api covers).
+PROTOCOLS = (
+    "A", "B", "C", "C-batched", "C-naive", "D", "D-dynamic", "D-recovery",
+    "naive", "replicate",
+)
+
+
+def _adversary_for(rng: random.Random, protocol: str, t: int):
+    """A random adversary spec valid for ``protocol`` (crash counts stay
+    below t so no config needs allow_total_failure)."""
+    budget = max(1, min(t - 1, rng.randint(1, 3)))
+    if protocol == "D-recovery" and rng.random() < 0.7:
+        # The recovery protocol is the only one accepting rejoin faults.
+        kind = rng.choice(
+            ("crash-recover", "crash-recover", "rack-recover", "cascade-recover")
+        )
+        if kind == "crash-recover":
+            return (
+                f"crash-recover:{budget},repair_delay={rng.randint(1, 4)}"
+            )
+        if kind == "rack-recover":
+            return {
+                "kind": "rack",
+                "racks": 1,
+                "group_size": budget,
+                "recover_after": rng.randint(1, 4),
+            }
+        return {
+            "kind": "cascade-neighbours",
+            "origins": 1,
+            "p": rng.choice((0.3, 0.7)),
+            "budget": budget,
+            "recover_after": rng.randint(1, 4),
+        }
+    roll = rng.random()
+    if roll < 0.25:
+        return None
+    if roll < 0.55:
+        spec = f"random:{budget}"
+        if rng.random() < 0.5:
+            spec += f",max_action_index={rng.randint(5, 30)}"
+        return spec
+    if roll < 0.70:
+        return f"kill-active:{budget}"
+    if roll < 0.85:
+        return {"kind": "rack", "racks": 1, "group_size": budget}
+    return {
+        "kind": "cascade-neighbours",
+        "origins": 1,
+        "p": rng.choice((0.3, 0.7)),
+        "budget": budget,
+    }
+
+
+def _random_config(rng: random.Random) -> dict:
+    protocol = rng.choice(PROTOCOLS)
+    # C's deadlines are exponential in n + t; keep its universe tiny so
+    # the suite stays fast (fast-forward keeps the wall time bounded,
+    # but the message volume still grows quickly).
+    if protocol in ("C", "C-batched", "C-naive"):
+        t = rng.randint(2, 4)
+        n = rng.randint(4, 12)
+    else:
+        t = rng.randint(2, 10)
+        n = rng.randint(4, 40)
+    config: dict = {"protocol": protocol, "n": n, "t": t, "seed": rng.randint(0, 10**6)}
+    adversary = _adversary_for(rng, protocol, t)
+    if adversary is not None:
+        config["adversary"] = adversary
+    if rng.random() < 0.3:
+        send = rng.randint(2, 6)
+        receive = rng.randint(2, 8)
+        config["congestion"] = f"budget:send={send},receive={receive}"
+    options: dict = {}
+    if protocol in ("D", "D-recovery") and rng.random() < 0.3:
+        options["revert_threshold"] = rng.choice((0.3, 0.5, 0.9))
+    if protocol == "D-dynamic":
+        if rng.random() < 0.5:
+            batches = rng.randint(1, 3)
+            per_batch, remainder = divmod(n, batches)
+            counts = [per_batch] * batches
+            counts[0] += remainder
+            gap = rng.randint(1, 6)
+            spec = ",".join(
+                f"{index * gap}x{count}"
+                for index, count in enumerate(counts)
+                if count
+            )
+            options["schedule"] = f"arrivals:{spec}"
+        if rng.random() < 0.5:
+            options["cycle_length"] = rng.randint(4, 12)
+    if protocol == "naive" and rng.random() < 0.5:
+        options["interval"] = rng.randint(1, 5)
+    if options:
+        config["options"] = options
+    return config
+
+
+def _run(scenario: Scenario, fastpath: str):
+    """One run's full observable state (or the error it raised)."""
+    variant = dataclasses.replace(scenario, fastpath=fastpath)
+    trace = Trace(enabled=True)
+    try:
+        result = variant.run(trace=trace)
+    except Exception as error:  # noqa: BLE001 - compared across paths
+        return {"error": type(error).__name__, "message": str(error)}
+    return {
+        "metrics": result.metrics.as_dict(full=True),
+        "trace": list(trace.events),
+        "completed": result.completed,
+        "survivors": result.survivors,
+        "halted": result.halted,
+    }
+
+
+def test_differential_fuzz_fastpath_bit_identical():
+    rng = random.Random(SEED)
+    exercised = 0
+    for index in range(COUNT):
+        config = _random_config(rng)
+        scenario = Scenario.from_dict(config)
+        off = _run(scenario, "off")
+        on = _run(scenario, "on")
+        if on != off:
+            reproducer = json.dumps(config, sort_keys=True)
+            REPRODUCER_PATH.write_text(
+                json.dumps(
+                    {"seed": SEED, "index": index, "scenario": config},
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            raise AssertionError(
+                f"fastpath divergence at scenario {index} (seed {SEED}); "
+                f"reproducer Scenario JSON: {reproducer}"
+            )
+        if "error" not in off:
+            exercised += 1
+    # The generator must mostly produce *runnable* configs - a harness
+    # where everything errors out symmetrically would prove nothing.
+    assert exercised >= COUNT * 3 // 4, (
+        f"only {exercised}/{COUNT} scenarios ran to completion; "
+        "the generator drifted into degenerate configs"
+    )

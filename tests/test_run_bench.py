@@ -35,5 +35,10 @@ def test_run_bench_smoke(tmp_path):
     assert {"A_small", "C_exponential_rounds_small", "D_small"} <= names
     for row in payload["scenarios"]:
         assert "error" not in row
+        if "skipped" in row:
+            # Pinned-columnar rows legitimately skip when the optional
+            # numpy extra is absent; anything else must have run.
+            assert row["name"] == "D_columnar_smoke"
+            continue
         assert row["completed"]
         assert row["seconds_best"] >= 0

@@ -39,6 +39,13 @@ class _ReferenceScheduler(Engine):
     engine, so any divergence is attributable to scheduling.
     """
 
+    def __init__(self, *args, **kwargs):
+        # The reference scans self._mailboxes directly, so it must run
+        # the pure-python store; the indexed engine under test keeps its
+        # default fastpath, making this a cross-path oracle as well.
+        kwargs["fastpath"] = "off"
+        super().__init__(*args, **kwargs)
+
     def _reference_due(self, process) -> Optional[int]:
         if process.retired:
             return None
