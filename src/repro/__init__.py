@@ -28,7 +28,15 @@ See ``docs/api.md`` for the declarative Scenario/Sweep tour.
 from repro.agreement.byzantine import AgreementOutcome, ByzantineAgreement
 from repro.analysis.verify import VerificationReport, verify_run
 from repro.api import ResultSet, Scenario, Sweep, run_scenarios
-from repro.cache import ResultCache
+from repro.cache import ResultCache, verify_journal
+from repro.chaos import (
+    ChaosInjector,
+    ChaosLog,
+    ChaosInterrupt,
+    InjectedFault,
+    chaos_from_spec,
+    normalize_chaos_spec,
+)
 from repro.campaign import (
     CampaignReport,
     CampaignSpec,
@@ -65,10 +73,14 @@ __all__ = [
     "CampaignReport",
     "CampaignSpec",
     "CampaignState",
+    "ChaosInjector",
+    "ChaosInterrupt",
+    "ChaosLog",
     "Client",
     "ConfigurationError",
     "CongestionBudget",
     "Engine",
+    "InjectedFault",
     "InvariantViolation",
     "Metrics",
     "ReproError",
@@ -86,6 +98,9 @@ __all__ = [
     "WorkTracker",
     "verify_run",
     "available_protocols",
+    "chaos_from_spec",
+    "normalize_chaos_spec",
+    "verify_journal",
     "build_processes",
     "load_campaign",
     "load_suite",

@@ -267,8 +267,11 @@ def _cmd_adversaries(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.server import ReproServer
+    from repro.server import MAX_BODY_BYTES, ReproServer
 
+    max_body = (
+        args.max_body_bytes if args.max_body_bytes is not None else MAX_BODY_BYTES
+    )
     server = ReproServer(
         host=args.host,
         port=args.port,
@@ -276,6 +279,14 @@ def _cmd_serve(args) -> int:
         cache_path=args.cache_file,
         job_workers=args.job_workers,
         run_workers=args.run_workers,
+        max_body_bytes=max_body,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        client_quota=args.client_quota,
+        request_deadline=args.request_deadline,
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
+        chaos=args.chaos,
     )
     cache = server.store.cache
     print(
@@ -284,15 +295,23 @@ def _cmd_serve(args) -> int:
         f"run workers: {args.run_workers or 'in-thread'}, "
         f"cache: {len(cache)} entries"
         + (f", journal {cache.path}" if cache.path else "")
+        + (f", rate limit {args.rate_limit}/s" if args.rate_limit else "")
+        + (", chaos ON" if args.chaos else "")
         + ")",
         file=sys.stderr,
     )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("shutting down", file=sys.stderr)
+        print("shutting down (draining in-flight jobs)", file=sys.stderr)
     finally:
-        server.shutdown()
+        report = server.shutdown()
+        print(
+            f"drained: {report['drained_jobs']} jobs resolved, "
+            f"{len(report['leaked_jobs'])} interrupted, "
+            f"cache holds {report['cache']['size']} entries",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -632,6 +651,29 @@ def _cmd_cache_compact(args) -> int:
     return 0
 
 
+def _cmd_cache_verify(args) -> int:
+    from repro.cache import verify_journal
+
+    audit = verify_journal(args.file)
+    if args.json:
+        print(json.dumps(audit, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{audit['path']}: {audit['lines']} lines, "
+            f"{audit['live']} live, {audit['stale']} stale, "
+            f"{audit['corrupt']} corrupt, "
+            f"{audit['unchecksummed']} unchecksummed"
+        )
+        if not audit["ok"]:
+            print(
+                f"FAIL {audit['corrupt']} corrupt line(s); a replay would "
+                "skip them (run 'repro cache compact' to drop them for "
+                "good)",
+                file=sys.stderr,
+            )
+    return 0 if audit["ok"] else 1
+
+
 def _cmd_bench_snapshot(args) -> int:
     from repro.bench_history import snapshot
 
@@ -810,6 +852,65 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="append-only JSONL journal; replayed on restart so the "
         "memo survives",
+    )
+    serve_p.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on submission body size (HTTP 413 beyond it)",
+    )
+    serve_p.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="R",
+        help="per-client submissions per second (HTTP 429 + Retry-After "
+        "beyond the burst)",
+    )
+    serve_p.add_argument(
+        "--rate-burst",
+        type=int,
+        default=None,
+        metavar="N",
+        help="token-bucket burst size (default: ceil of the rate)",
+    )
+    serve_p.add_argument(
+        "--client-quota",
+        type=int,
+        default=None,
+        metavar="N",
+        help="lifetime submissions per client (429 with no Retry-After "
+        "once spent)",
+    )
+    serve_p.add_argument(
+        "--request-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="bound on how long one request may hold a handler thread",
+    )
+    serve_p.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts per job before quarantine (unexpected worker "
+        "crashes only; scenario errors never retry)",
+    )
+    serve_p.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="base of the doubling delay between job retries",
+    )
+    serve_p.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection, e.g. "
+        "'journal_write=0.02,worker=0.01,seed=7' (see docs/chaos.md)",
     )
     serve_p.set_defaults(func=_cmd_serve)
 
@@ -1062,6 +1163,18 @@ def build_parser() -> argparse.ArgumentParser:
         "N most recently stored results)",
     )
     cache_compact_p.set_defaults(func=_cmd_cache_compact)
+    cache_verify_p = cache_sub.add_parser(
+        "verify",
+        help="audit a cache journal's checksums without loading it "
+        "(exit 1 on corruption)",
+    )
+    cache_verify_p.add_argument(
+        "file", metavar="PATH", help="cache journal (JSONL) to audit"
+    )
+    cache_verify_p.add_argument(
+        "--json", action="store_true", help="emit the audit as JSON"
+    )
+    cache_verify_p.set_defaults(func=_cmd_cache_verify)
 
     bench_p = sub.add_parser(
         "bench", help="commit-stamped bench history (see docs/perf.md)"

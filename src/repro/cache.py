@@ -21,15 +21,26 @@ persistence:
   observable proof of single-execution semantics - the server surfaces
   them in every response and the CI serve-smoke job asserts a repeat
   submission is 100% hits.
-* With ``path=...`` every store appends one ``{"key", "result"}`` JSON
-  line; a new cache constructed on the same path replays the journal
-  (last write wins), so a restarted server keeps its memo.  The journal
-  is append-only: in-memory LRU evictions do not rewrite it, which
-  makes persistence crash-safe at the cost of the file being a superset
-  of memory.  :meth:`ResultCache.compact` (CLI: ``repro cache
-  compact``) rewrites the journal to live entries only - atomically,
-  via a temp file - when campaign-scale churn makes that superset
-  bloat.
+* With ``path=...`` every store appends one ``{"key", "result",
+  "crc"}`` JSON line (``crc`` is the CRC32 of the canonical
+  ``{"key", "result"}`` encoding); a new cache constructed on the same
+  path replays the journal (last write wins), so a restarted server
+  keeps its memo.  The journal is append-only: in-memory LRU evictions
+  do not rewrite it, which makes persistence crash-safe at the cost of
+  the file being a superset of memory.  :meth:`ResultCache.compact`
+  (CLI: ``repro cache compact``) rewrites the journal to live entries
+  only - atomically, via a temp file - when campaign-scale churn makes
+  that superset bloat.
+
+Degradation contract (see ``docs/chaos.md``): a journal line that does
+not parse, has the wrong shape, or fails its checksum is **skipped and
+counted** on replay (``journal_corrupt``) rather than poisoning the
+whole cache; pre-CRC lines without a ``crc`` field still load
+(``journal_unchecksummed``); a failed append (``OSError``) is counted
+(``journal_errors``) and the in-memory entry stays live, so a sick disk
+degrades persistence, never correctness.  :func:`verify_journal` (CLI:
+``repro cache verify``) audits a journal offline and reports
+live/stale/corrupt/unchecksummed line counts.
 
 Thread-safe; the run server shares one instance across its request and
 worker threads.
@@ -39,6 +50,7 @@ from __future__ import annotations
 
 import json
 import threading
+import zlib
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -47,10 +59,38 @@ from repro.errors import ConfigurationError
 from repro.sim.metrics import RunResult
 
 
+def journal_crc(key: str, payload: Dict[str, Any]) -> int:
+    """CRC32 checksum of one journal record's canonical encoding."""
+    body = json.dumps({"key": key, "result": payload}, sort_keys=True)
+    return zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+
+
+def _classify_line(line: str):
+    """``(status, key, payload)`` for one journal line; status is
+    ``"ok"``, ``"unchecksummed"`` or ``"corrupt"``."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return "corrupt", None, None
+    if (
+        not isinstance(record, dict)
+        or not isinstance(record.get("key"), str)
+        or not isinstance(record.get("result"), dict)
+        or set(record) - {"key", "result", "crc"}
+    ):
+        return "corrupt", None, None
+    key, payload = record["key"], record["result"]
+    if "crc" not in record:
+        return "unchecksummed", key, payload
+    if record["crc"] != journal_crc(key, payload):
+        return "corrupt", None, None
+    return "ok", key, payload
+
+
 class ResultCache:
     """LRU memo of completed runs, keyed by scenario content address."""
 
-    def __init__(self, max_entries: Optional[int] = None, path=None):
+    def __init__(self, max_entries: Optional[int] = None, path=None, *, chaos=None):
         if max_entries is not None and (
             isinstance(max_entries, bool)
             or not isinstance(max_entries, int)
@@ -67,6 +107,10 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        self.journal_corrupt = 0        # lines skipped on replay
+        self.journal_unchecksummed = 0  # pre-CRC lines accepted on replay
+        self.journal_errors = 0         # appends that failed (OSError)
+        self._chaos = chaos  # a repro.chaos.ChaosInjector, or None
         self.path = Path(path) if path is not None else None
         if self.path is not None and self.path.exists():
             self._replay_journal()
@@ -74,37 +118,41 @@ class ResultCache:
     # ---- persistence -------------------------------------------------
 
     def _replay_journal(self) -> None:
-        for lineno, line in enumerate(
-            self.path.read_text().splitlines(), start=1
-        ):
+        # Corrupt lines (torn writes, bit rot, checksum mismatches) are
+        # skipped and counted, never fatal: one bad line must not turn a
+        # million-entry memo into a ConfigurationError at startup.
+        for line in self.path.read_text().splitlines():
             if not line.strip():
                 continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ConfigurationError(
-                    f"cache journal {self.path} line {lineno} is not valid "
-                    f"JSON: {exc}"
-                ) from exc
-            if (
-                not isinstance(record, dict)
-                or not isinstance(record.get("key"), str)
-                or not isinstance(record.get("result"), dict)
-            ):
-                raise ConfigurationError(
-                    f"cache journal {self.path} line {lineno} must hold "
-                    f"{{'key': str, 'result': dict}}, got {record!r}"
-                )
-            self._insert(record["key"], record["result"])
+            status, key, payload = _classify_line(line)
+            if status == "corrupt":
+                self.journal_corrupt += 1
+                continue
+            if status == "unchecksummed":
+                self.journal_unchecksummed += 1
+            self._insert(key, payload)
 
     def _append_journal(self, key: str, payload: Dict[str, Any]) -> None:
         if self.path is None:
             return
-        line = json.dumps(
-            {"key": key, "result": payload}, sort_keys=True
-        )
-        with self.path.open("a") as handle:
-            handle.write(line + "\n")
+        record = {"key": key, "result": payload}
+        record["crc"] = journal_crc(key, payload)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        mode = self._chaos.fire("journal_write", key) if self._chaos else None
+        try:
+            with self.path.open("a") as handle:
+                if mode == "torn":
+                    handle.write(line[: max(1, len(line) // 2)])
+                elif mode == "partial":
+                    handle.write(line[: max(1, len(line) // 3)] + "\n")
+                elif mode == "fail":
+                    raise OSError("chaos: injected journal write failure")
+                else:
+                    handle.write(line)
+        except OSError:
+            # Persistence degrades, correctness does not: the in-memory
+            # entry stays live and the failure is observable in stats().
+            self.journal_errors += 1
 
     # ---- core map ----------------------------------------------------
 
@@ -198,10 +246,9 @@ class ResultCache:
             tmp = self.path.with_name(self.path.name + ".compact")
             with tmp.open("w") as handle:
                 for key, payload in self._entries.items():
-                    handle.write(
-                        json.dumps({"key": key, "result": payload}, sort_keys=True)
-                        + "\n"
-                    )
+                    record = {"key": key, "result": payload}
+                    record["crc"] = journal_crc(key, payload)
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
             bytes_after = tmp.stat().st_size
             tmp.replace(self.path)
             return {
@@ -224,8 +271,59 @@ class ResultCache:
                 "misses": self.misses,
                 "stores": self.stores,
                 "evictions": self.evictions,
+                "journal_corrupt": self.journal_corrupt,
+                "journal_unchecksummed": self.journal_unchecksummed,
+                "journal_errors": self.journal_errors,
                 "path": str(self.path) if self.path is not None else None,
             }
 
 
-__all__ = ["ResultCache"]
+def verify_journal(path) -> Dict[str, Any]:
+    """Audit one cache journal without loading it into a cache.
+
+    Walks every line and reports::
+
+        {"path": ..., "lines": N, "live": a, "stale": b,
+         "corrupt": c, "unchecksummed": d, "ok": c == 0}
+
+    ``live`` counts lines that are the *last* valid occurrence of their
+    key (what a replay would keep), ``stale`` counts valid lines
+    superseded by a later write of the same key, ``corrupt`` counts
+    unparsable / wrong-shape / checksum-failing lines, and
+    ``unchecksummed`` counts valid pre-CRC lines (a subset of
+    live+stale).  The CLI verb ``repro cache verify`` prints this and
+    exits 1 when ``corrupt > 0``.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"cache journal {path} does not exist")
+    lines = 0
+    corrupt = 0
+    unchecksummed = 0
+    valid = 0
+    last_for_key: Dict[str, int] = {}
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        lines += 1
+        status, key, _ = _classify_line(line)
+        if status == "corrupt":
+            corrupt += 1
+            continue
+        if status == "unchecksummed":
+            unchecksummed += 1
+        valid += 1
+        last_for_key[key] = valid  # later valid line supersedes
+    live = len(last_for_key)
+    return {
+        "path": str(path),
+        "lines": lines,
+        "live": live,
+        "stale": valid - live,
+        "corrupt": corrupt,
+        "unchecksummed": unchecksummed,
+        "ok": corrupt == 0,
+    }
+
+
+__all__ = ["ResultCache", "journal_crc", "verify_journal"]

@@ -35,6 +35,16 @@ re-executed chunk reproduces byte-identical payloads - which is what
 makes the resumed merge equal to an uninterrupted serial run (proven in
 ``tests/test_campaign.py`` and the CI ``campaign-smoke`` job).
 
+Fault injection (see ``docs/chaos.md``): a ledger built with a
+``chaos`` injector consults the ``ledger_append`` point on every
+checkpoint - ``torn`` writes half the line and raises
+:class:`~repro.chaos.ChaosInterrupt` (a simulated mid-append kill,
+leaving exactly the torn-final-line shape replay already tolerates),
+``fsync_fail`` simulates a failed flush by rewinding the partial
+append and retrying it, so a flaky disk costs a rewrite, never a
+corrupt ledger.  ``tests/test_chaos.py`` proves a chaos-interrupted
+campaign resumes to a report bit-identical to a fault-free run.
+
 Sharding: shards run disjoint chunk subsets (``--shard i/k``) into
 *separate* ledger files; :meth:`CampaignState.load` merges any number of
 ledgers for the same digest (duplicate chunk records are tolerated -
@@ -74,18 +84,33 @@ class CampaignLedger:
     can never interleave in one ledger.
     """
 
-    def __init__(self, path, spec: CampaignSpec):
+    def __init__(self, path, spec: CampaignSpec, *, chaos=None):
         self.path = Path(path)
         self.spec = spec
         self.digest = spec.digest()
+        self.chaos = chaos  # a repro.chaos.ChaosInjector, or None
+        self.fsync_retries = 0  # appends rewound and retried
         if self.path.exists() and self.path.stat().st_size > 0:
             header, _, _ = _read_ledger(self.path)
             _check_header(header, spec, path=self.path)
+            self._trim_torn_tail()
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with self.path.open("w") as handle:
                 handle.write(json.dumps(_header_dict(spec), sort_keys=True) + "\n")
                 handle.flush()
+
+    def _trim_torn_tail(self) -> None:
+        """Drop a torn final fragment (a mid-append kill leaves no
+        trailing newline) so the next append starts on a fresh line
+        instead of gluing its checkpoint onto the fragment - which
+        would turn one discarded line into mid-file corruption."""
+        text = self.path.read_text()
+        if not text or text.endswith("\n"):
+            return
+        cut = text.rfind("\n") + 1
+        with self.path.open("r+") as handle:
+            handle.truncate(cut)
 
     def append_chunk(
         self, chunk: CampaignChunk, payloads: Sequence[Dict[str, Any]]
@@ -102,6 +127,33 @@ class CampaignLedger:
             "results": list(payloads),
         }
         line = json.dumps(record, sort_keys=True) + "\n"
+        mode = (
+            self.chaos.fire("ledger_append", f"chunk {chunk.index}")
+            if self.chaos is not None
+            else None
+        )
+        if mode == "torn":
+            # A kill mid-append: half the line reaches the disk, then
+            # the "process" dies.  Replay discards the torn final line
+            # and the chunk re-runs on resume.
+            from repro.chaos import ChaosInterrupt
+
+            with self.path.open("a") as handle:
+                handle.write(line[: max(1, len(line) // 2)])
+                handle.flush()
+            raise ChaosInterrupt(
+                f"chaos: ledger append for chunk {chunk.index} torn "
+                "mid-write (simulated kill)"
+            )
+        if mode == "fsync_fail":
+            # A failed flush: rewind the partial append and retry it,
+            # so the ledger never holds a half-trusted checkpoint.
+            with self.path.open("a") as handle:
+                size_before = handle.tell()
+                handle.write(line[: max(1, len(line) // 2)])
+            with self.path.open("r+") as handle:
+                handle.truncate(size_before)
+            self.fsync_retries += 1
         with self.path.open("a") as handle:
             handle.write(line)
             handle.flush()

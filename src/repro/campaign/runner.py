@@ -162,6 +162,7 @@ def run_campaign(
     shard: Optional[Tuple[int, int]] = None,
     max_chunks: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    chaos=None,
 ) -> CampaignOutcome:
     """Execute (or resume) a campaign against one ledger file.
 
@@ -189,6 +190,13 @@ def run_campaign(
     progress:
         callable receiving one line per chunk (the CLI passes a stderr
         printer).
+    chaos:
+        a chaos spec (string/dict) or live
+        :class:`~repro.chaos.ChaosInjector`; threads the
+        ``ledger_append`` injection point through this session's ledger
+        writes (see ``docs/chaos.md``).  An injected torn append raises
+        :class:`~repro.chaos.ChaosInterrupt` exactly like a real kill;
+        resuming afterwards is the chaos harness's headline proof.
     """
     if cache is not None and server is not None:
         raise ConfigurationError(
@@ -211,8 +219,10 @@ def run_campaign(
             client = Client(server)
         else:
             client = server
+    from repro.chaos import chaos_from_spec
+
     state = CampaignState.load(spec, ledger_path)
-    ledger = CampaignLedger(ledger_path, spec)
+    ledger = CampaignLedger(ledger_path, spec, chaos=chaos_from_spec(chaos))
     outcome = CampaignOutcome(spec=spec, state=state, shard=shard)
     emit = progress if progress is not None else (lambda line: None)
     for chunk in spec.chunks():

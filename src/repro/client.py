@@ -25,13 +25,23 @@ retried with a bounded, deterministic backoff schedule before
 sleeping ``backoff * 2**i`` between them (default 4 tries: 0.05s, 0.1s,
 0.2s).  Long-running campaigns polling a shared serve instance survive
 a server restart or a dropped socket instead of dying on the first
-hiccup.  HTTP-level errors (400/404/5xx) are real answers and are never
-retried.
+hiccup.  HTTP 429 (rate limited - the server's ``Retry-After`` header
+overrides the backoff sleep) and retryable 5xx (500/502/503/504) are
+also retried; every *other* HTTP status (400/404/413...) is a real
+answer and is never retried.
+
+Hardening knobs (see ``docs/chaos.md``): ``deadline`` bounds the whole
+retry loop in wall-clock seconds, so a flapping server cannot hold a
+caller for ``attempts x timeout``; ``jitter`` (a fraction, default 0)
+stretches each backoff sleep by up to that share, drawn from a seeded
+RNG (``jitter_seed``) so retry storms decorrelate across clients while
+any single client stays reproducible.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -41,6 +51,14 @@ from repro.api import ResultSet, Scenario, Sweep
 from repro.errors import ConfigurationError, ServerError
 from repro.sim.metrics import RunResult
 from repro.suites import Suite
+
+#: HTTP statuses that signal a transient server-side condition and are
+#: retried like connection failures (429 additionally honors
+#: ``Retry-After``).
+RETRYABLE_HTTP_STATUSES = (429, 500, 502, 503, 504)
+
+#: Seconds an injected ``transport=slow`` chaos fault adds to a request.
+CHAOS_SLOW_SECONDS = 0.02
 
 #: Anything :meth:`Client.submit` accepts.
 Document = Union[Scenario, Sweep, Suite, Dict[str, Any]]
@@ -83,6 +101,10 @@ class Client:
         timeout: float = 30.0,
         attempts: int = 4,
         backoff: float = 0.05,
+        deadline: Optional[float] = None,
+        jitter: float = 0.0,
+        jitter_seed: int = 0,
+        chaos=None,
     ):
         if isinstance(attempts, bool) or not isinstance(attempts, int) or attempts < 1:
             raise ConfigurationError(
@@ -92,10 +114,31 @@ class Client:
             raise ConfigurationError(
                 f"client backoff must be a non-negative number, got {backoff!r}"
             )
+        if deadline is not None and (
+            isinstance(deadline, bool)
+            or not isinstance(deadline, (int, float))
+            or deadline <= 0
+        ):
+            raise ConfigurationError(
+                f"client deadline must be a positive number of seconds or "
+                f"None, got {deadline!r}"
+            )
+        if (
+            isinstance(jitter, bool)
+            or not isinstance(jitter, (int, float))
+            or not 0.0 <= jitter <= 1.0
+        ):
+            raise ConfigurationError(
+                f"client jitter must be a fraction in [0, 1], got {jitter!r}"
+            )
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.attempts = attempts
         self.backoff = backoff
+        self.deadline = deadline
+        self.jitter = jitter
+        self.chaos = chaos  # a repro.chaos.ChaosInjector, or None
+        self._jitter_rng = random.Random(jitter_seed)
         self._sleep = time.sleep  # injectable for deterministic tests
 
     # ---- transport ---------------------------------------------------
@@ -104,6 +147,13 @@ class Client:
         """The deterministic backoff schedule: one sleep before each
         retry after the first attempt (``backoff * 2**i``)."""
         return [self.backoff * (2 ** i) for i in range(self.attempts - 1)]
+
+    def _jittered(self, delay: float) -> float:
+        """``delay`` stretched by up to ``jitter`` (seeded draw); the
+        exact base schedule when jitter is 0."""
+        if self.jitter <= 0.0:
+            return delay
+        return delay * (1.0 + self.jitter * self._jitter_rng.random())
 
     def _request(
         self, path: str, payload: Optional[Dict[str, Any]] = None
@@ -116,16 +166,57 @@ class Client:
             headers["Content-Type"] = "application/json"
         delays = self._retry_delays()
         last_reason: Any = None
+        started = time.monotonic()
+        next_delay: Optional[float] = None  # a 429's Retry-After override
         for attempt in range(self.attempts):
             if attempt:
-                self._sleep(delays[attempt - 1])
+                delay = self._jittered(
+                    delays[attempt - 1] if next_delay is None else next_delay
+                )
+                next_delay = None
+                if (
+                    self.deadline is not None
+                    and time.monotonic() - started + delay > self.deadline
+                ):
+                    break
+                self._sleep(delay)
+            if (
+                self.deadline is not None
+                and time.monotonic() - started > self.deadline
+            ):
+                break
+            if self.chaos is not None:
+                mode = self.chaos.fire("transport", path)
+                if mode == "refused":
+                    last_reason = "chaos: injected connection refused"
+                    continue
+                if mode == "error_5xx":
+                    last_reason = "chaos: injected HTTP 503"
+                    continue
+                if mode == "slow":
+                    self._sleep(CHAOS_SLOW_SECONDS)
             request = urllib.request.Request(url, data=data, headers=headers)
             try:
                 with urllib.request.urlopen(request, timeout=self.timeout) as response:
                     return json.loads(response.read().decode("utf-8"))
             except urllib.error.HTTPError as exc:
-                # An HTTP status is a real answer, not a transport
-                # hiccup - never retried.
+                if exc.code in RETRYABLE_HTTP_STATUSES:
+                    # Transient server-side condition: drain the body,
+                    # honor Retry-After (429), and retry on schedule.
+                    last_reason = f"HTTP {exc.code}"
+                    retry_after = exc.headers.get("Retry-After")
+                    if exc.code == 429 and retry_after is not None:
+                        try:
+                            next_delay = max(0.0, float(retry_after))
+                        except ValueError:
+                            pass
+                    try:
+                        exc.read()
+                    except Exception:
+                        pass
+                    continue
+                # Any other HTTP status is a real answer, not a
+                # transport hiccup - never retried.
                 self._raise_http_error(exc)
             except urllib.error.URLError as exc:
                 last_reason = exc.reason
@@ -134,6 +225,14 @@ class Client:
                 raise ServerError(
                     f"repro server at {self.base_url} sent a non-JSON response: {exc}"
                 ) from exc
+        if (
+            self.deadline is not None
+            and time.monotonic() - started > self.deadline - 1e-9
+        ):
+            raise ServerError(
+                f"gave up on repro server at {self.base_url} after "
+                f"{self.deadline:g}s wall-clock deadline: {last_reason}"
+            )
         raise ServerError(
             f"cannot reach repro server at {self.base_url} after "
             f"{self.attempts} attempt{'s' if self.attempts != 1 else ''}: "

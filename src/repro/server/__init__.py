@@ -9,7 +9,13 @@ run.  See ``docs/serve.md`` for the wire format and consistency
 guarantees, and :mod:`repro.client` for the matching client API.
 """
 
-from repro.server.app import MAX_WAIT_SECONDS, ReproServer, serve
+from repro.server.app import (
+    MAX_BODY_BYTES,
+    MAX_WAIT_SECONDS,
+    RateLimiter,
+    ReproServer,
+    serve,
+)
 from repro.server.jobs import (
     DOCUMENT_KINDS,
     JOB_STATES,
@@ -21,9 +27,11 @@ from repro.server.jobs import (
 __all__ = [
     "DOCUMENT_KINDS",
     "JOB_STATES",
+    "MAX_BODY_BYTES",
     "MAX_WAIT_SECONDS",
     "Job",
     "JobStore",
+    "RateLimiter",
     "ReproServer",
     "scenarios_from_document",
     "serve",

@@ -8,40 +8,141 @@ full wire-format reference.  Endpoints:
   Returns the job snapshot; results are inlined when every slot was
   already cached.
 * ``GET /jobs/<id>`` - poll one job (``?wait=SECONDS`` long-polls up to
-  :data:`MAX_WAIT_SECONDS`).  Done jobs carry ``results`` in submission
-  order.
+  :data:`MAX_WAIT_SECONDS`, further capped by the server's per-request
+  deadline).  Done jobs carry ``results`` in submission order.
 * ``GET /results/<key>`` - the cached result for one
   :meth:`~repro.api.Scenario.cache_key` content address.
 * ``GET /stats`` - job/cache counters (hits, misses, executions,
-  coalesced - the single-execution proof).
+  coalesced, retried, quarantined, journal CRC counters - the
+  single-execution and no-silent-corruption proofs).
+* ``GET /healthz`` - liveness: 200 while the process serves.
+* ``GET /readyz`` - readiness: 200 while accepting work, 503 once
+  draining (load balancers stop routing before shutdown completes).
 * ``GET /`` - service manifest (version, protocols, endpoints).
 
 Errors are JSON ``{"error": {"type", "message"}}``: configuration
 mistakes are HTTP 400 with the package's own
 :class:`~repro.errors.ConfigurationError` message (field and value
-named), unknown routes/ids are 404, anything unexpected is 500.
+named), unknown routes/ids are 404, an oversized body is 413, a
+rate-limited or over-quota client is 429 with a ``Retry-After`` header,
+submissions during drain are 503, anything unexpected is 500.
+
+Robustness (see ``docs/chaos.md``): construction accepts a ``chaos``
+spec that threads a :class:`~repro.chaos.ChaosInjector` through the
+cache journal, the job workers and the request handler;
+:meth:`ReproServer.shutdown` performs a graceful drain - stop accepting
+submissions, finish in-flight jobs, resolve stragglers with typed
+errors so long-polls return promptly - and returns the drain report.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
 from urllib.parse import parse_qs, urlsplit
 
 import repro
 from repro.cache import ResultCache
+from repro.chaos import chaos_from_spec
 from repro.core.registry import available_protocols
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ServerError
 from repro.server.jobs import JobStore, scenarios_from_document
 
 #: Ceiling on ``?wait=`` long-polls, so a stuck client cannot pin a
 #: handler thread forever.
 MAX_WAIT_SECONDS = 30.0
 
-#: Submission documents larger than this are rejected outright.
+#: Default cap on submission bodies; override per server with
+#: ``max_body_bytes=``.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class RateLimiter:
+    """Per-client token bucket plus an optional absolute quota.
+
+    ``rate`` tokens refill per second up to ``burst``; each submission
+    spends one.  ``quota`` (when set) caps a client's *total accepted*
+    submissions for the server's lifetime - multi-tenant fairness for
+    long-lived shared instances.  ``allow`` returns ``(True, 0.0)`` or
+    ``(False, retry_after_seconds)`` (0 retry-after means "never":
+    quota exhausted).  The clock is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[int] = None,
+        *,
+        quota: Optional[int] = None,
+        clock=time.monotonic,
+    ):
+        if not isinstance(rate, (int, float)) or isinstance(rate, bool) or rate <= 0:
+            raise ConfigurationError(
+                f"rate limit must be a positive number of requests per "
+                f"second, got {rate!r}"
+            )
+        if burst is None:
+            burst = max(1, int(rate))
+        if isinstance(burst, bool) or not isinstance(burst, int) or burst < 1:
+            raise ConfigurationError(
+                f"rate-limit burst must be a positive integer, got {burst!r}"
+            )
+        if quota is not None and (
+            isinstance(quota, bool) or not isinstance(quota, int) or quota < 1
+        ):
+            raise ConfigurationError(
+                f"client quota must be a positive integer or None, got {quota!r}"
+            )
+        self.rate = float(rate)
+        self.burst = burst
+        self.quota = quota
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tokens: Dict[str, float] = {}
+        self._stamp: Dict[str, float] = {}
+        self._spent: Dict[str, int] = {}
+        self.throttled = 0  # observability: how many requests got a 429
+
+    def allow(self, client: str):
+        now = self._clock()
+        with self._lock:
+            if self.quota is not None and self._spent.get(client, 0) >= self.quota:
+                self.throttled += 1
+                return False, 0.0
+            tokens = min(
+                float(self.burst),
+                self._tokens.get(client, float(self.burst))
+                + (now - self._stamp.get(client, now)) * self.rate,
+            )
+            self._stamp[client] = now
+            if tokens < 1.0:
+                self._tokens[client] = tokens
+                self.throttled += 1
+                return False, (1.0 - tokens) / self.rate
+            self._tokens[client] = tokens - 1.0
+            self._spent[client] = self._spent.get(client, 0) + 1
+            return True, 0.0
+
+
+class _ServerState:
+    """Shared mutable knobs the handler consults per request."""
+
+    def __init__(
+        self,
+        *,
+        max_body_bytes: int,
+        request_deadline: Optional[float],
+        limiter: Optional[RateLimiter],
+        chaos,
+    ):
+        self.max_body_bytes = max_body_bytes
+        self.request_deadline = request_deadline
+        self.limiter = limiter
+        self.chaos = chaos
+        self.draining = False
 
 
 class _ThreadingServer(ThreadingHTTPServer):
@@ -51,7 +152,7 @@ class _ThreadingServer(ThreadingHTTPServer):
     request_queue_size = 128
 
 
-def _make_handler(store: JobStore):
+def _make_handler(store: JobStore, state: _ServerState):
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
         server_version = f"repro-serve/{repro.__version__}"
@@ -61,16 +162,31 @@ def _make_handler(store: JobStore):
 
         # ---- plumbing ------------------------------------------------
 
-        def _send(self, code: int, payload: Dict[str, Any]) -> None:
+        def _send(
+            self,
+            code: int,
+            payload: Dict[str, Any],
+            headers: Optional[Dict[str, str]] = None,
+        ) -> None:
             body = json.dumps(payload, sort_keys=True).encode("utf-8")
             self.send_response(code)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
-        def _error(self, code: int, type_name: str, message: str) -> None:
-            self._send(code, {"error": {"type": type_name, "message": message}})
+        def _error(
+            self,
+            code: int,
+            type_name: str,
+            message: str,
+            headers: Optional[Dict[str, str]] = None,
+        ) -> None:
+            self._send(
+                code, {"error": {"type": type_name, "message": message}}, headers
+            )
 
         def _read_document(self) -> Optional[Any]:
             try:
@@ -84,11 +200,12 @@ def _make_handler(store: JobStore):
                     "a job submission needs a JSON body",
                 )
                 return None
-            if length > MAX_BODY_BYTES:
+            if length > state.max_body_bytes:
                 self._error(
                     413, "ConfigurationError",
-                    f"job document of {length} bytes exceeds the "
-                    f"{MAX_BODY_BYTES}-byte limit",
+                    f"job document of {length} bytes exceeds this server's "
+                    f"{state.max_body_bytes}-byte limit (serve "
+                    "--max-body-bytes raises it)",
                 )
                 return None
             raw = self.rfile.read(length)
@@ -101,16 +218,45 @@ def _make_handler(store: JobStore):
                 )
                 return None
 
+        def _chaos_handler_fault(self, path: str) -> bool:
+            """Injected handler failure (HTTP 500); health endpoints are
+            exempt so liveness stays honest."""
+            if state.chaos is None or path in ("/healthz", "/readyz"):
+                return False
+            mode = state.chaos.fire("handler", path)
+            if mode is None:
+                return False
+            self._error(
+                500, "InjectedFault",
+                f"chaos: injected handler exception on {path}",
+            )
+            return True
+
         # ---- routes --------------------------------------------------
 
         def do_GET(self) -> None:  # noqa: N802 - stdlib naming
             try:
                 url = urlsplit(self.path)
+                if self._chaos_handler_fault(url.path):
+                    return
                 parts = [part for part in url.path.split("/") if part]
                 if not parts or parts == ["about"]:
                     self._send(200, _manifest())
+                elif parts == ["healthz"]:
+                    self._send(200, {"status": "ok"})
+                elif parts == ["readyz"]:
+                    if state.draining:
+                        self._send(503, {"status": "draining"})
+                    else:
+                        self._send(200, {"status": "ready"})
                 elif parts == ["stats"]:
-                    self._send(200, store.stats())
+                    payload = store.stats()
+                    if state.limiter is not None:
+                        payload["throttled"] = state.limiter.throttled
+                    if state.chaos is not None:
+                        payload["chaos"] = state.chaos.log.as_dict()
+                        payload["chaos"].pop("events", None)  # counters only
+                    self._send(200, payload)
                 elif len(parts) == 2 and parts[0] == "jobs":
                     self._get_job(parts[1], url.query)
                 elif len(parts) == 2 and parts[0] == "results":
@@ -128,6 +274,34 @@ def _make_handler(store: JobStore):
                 if url.path.rstrip("/") != "/jobs":
                     self._error(404, "NotFound", f"unknown path {url.path!r}")
                     return
+                if self._chaos_handler_fault(url.path):
+                    return
+                if state.draining:
+                    self._error(
+                        503, "ServerError",
+                        "server is draining for shutdown and accepts no new "
+                        "submissions",
+                    )
+                    return
+                if state.limiter is not None:
+                    allowed, retry_after = state.limiter.allow(
+                        self.client_address[0]
+                    )
+                    if not allowed:
+                        if retry_after > 0:
+                            self._error(
+                                429, "ServerError",
+                                "rate limit exceeded; retry after "
+                                f"{retry_after:.2f}s",
+                                {"Retry-After": f"{max(1, int(retry_after + 0.999))}"},
+                            )
+                        else:
+                            self._error(
+                                429, "ServerError",
+                                "client quota exhausted on this server",
+                                {"Retry-After": "3600"},
+                            )
+                        return
                 document = self._read_document()
                 if document is None:
                     return
@@ -136,6 +310,9 @@ def _make_handler(store: JobStore):
                     job = store.submit(scenarios, kind=kind)
                 except ConfigurationError as exc:
                     self._error(400, "ConfigurationError", str(exc))
+                    return
+                except ServerError as exc:
+                    self._error(503, "ServerError", str(exc))
                     return
                 payload = job.as_dict()
                 payload["cache"] = store.cache.stats()
@@ -161,7 +338,10 @@ def _make_handler(store: JobStore):
                         f"{wait_values[-1]!r}",
                     )
                     return
-                job.wait(min(max(wait, 0.0), MAX_WAIT_SECONDS))
+                ceiling = MAX_WAIT_SECONDS
+                if state.request_deadline is not None:
+                    ceiling = min(ceiling, state.request_deadline)
+                job.wait(min(max(wait, 0.0), ceiling))
             payload = job.as_dict()
             payload["cache"] = store.cache.stats()
             self._send(200, payload)
@@ -183,6 +363,8 @@ def _make_handler(store: JobStore):
                 "GET /jobs/<id>[?wait=SECONDS]",
                 "GET /results/<cache-key>",
                 "GET /stats",
+                "GET /healthz",
+                "GET /readyz",
             ],
         }
 
@@ -195,6 +377,15 @@ class ReproServer:
     ``port=0`` binds an ephemeral port (tests); :attr:`url` reports the
     concrete address either way.  ``start()`` serves from a daemon
     thread (in-process use), ``serve_forever()`` blocks (the CLI).
+
+    Hardening knobs: ``max_body_bytes`` caps submission bodies (413),
+    ``rate_limit``/``rate_burst``/``client_quota`` throttle per-client
+    submissions (429 + ``Retry-After``), ``request_deadline`` bounds how
+    long any single request may hold a handler thread, ``retries`` /
+    ``retry_backoff`` configure worker-crash retry, and ``chaos`` (a
+    spec string/dict or a live :class:`~repro.chaos.ChaosInjector`)
+    injects deterministic faults for testing.  :meth:`shutdown` drains
+    gracefully and returns the drain report.
     """
 
     def __init__(
@@ -207,14 +398,66 @@ class ReproServer:
         cache_path=None,
         job_workers: int = 4,
         run_workers: Optional[int] = None,
+        max_body_bytes: int = MAX_BODY_BYTES,
+        rate_limit: Optional[float] = None,
+        rate_burst: Optional[int] = None,
+        client_quota: Optional[int] = None,
+        request_deadline: Optional[float] = None,
+        retries: int = 3,
+        retry_backoff: float = 0.05,
+        chaos=None,
     ):
+        if (
+            isinstance(max_body_bytes, bool)
+            or not isinstance(max_body_bytes, int)
+            or max_body_bytes < 1
+        ):
+            raise ConfigurationError(
+                f"max_body_bytes must be a positive integer, got "
+                f"{max_body_bytes!r}"
+            )
+        if request_deadline is not None and (
+            isinstance(request_deadline, bool)
+            or not isinstance(request_deadline, (int, float))
+            or request_deadline <= 0
+        ):
+            raise ConfigurationError(
+                f"request_deadline must be a positive number of seconds or "
+                f"None, got {request_deadline!r}"
+            )
+        self.chaos = chaos_from_spec(chaos)
         if cache is None:
-            cache = ResultCache(max_entries=cache_entries, path=cache_path)
+            cache = ResultCache(
+                max_entries=cache_entries, path=cache_path, chaos=self.chaos
+            )
+        elif self.chaos is not None and getattr(cache, "_chaos", None) is None:
+            cache._chaos = self.chaos
+        limiter = None
+        if rate_limit is not None or client_quota is not None:
+            limiter = RateLimiter(
+                rate_limit if rate_limit is not None else 1_000_000.0,
+                rate_burst,
+                quota=client_quota,
+            )
         self.store = JobStore(
-            cache=cache, job_workers=job_workers, run_workers=run_workers
+            cache=cache,
+            job_workers=job_workers,
+            run_workers=run_workers,
+            retries=retries,
+            retry_backoff=retry_backoff,
+            chaos=self.chaos,
         )
+        self._state = _ServerState(
+            max_body_bytes=max_body_bytes,
+            request_deadline=request_deadline,
+            limiter=limiter,
+            chaos=self.chaos,
+        )
+        self.drain_report: Optional[Dict[str, Any]] = None
         try:
-            self._http = _ThreadingServer((host, port), _make_handler(self.store))
+            self._http = _ThreadingServer(
+                (host, port), _make_handler(self.store, self._state)
+            )
         except OSError as exc:
             raise ConfigurationError(
                 f"cannot bind repro serve to {host}:{port}: {exc}"
@@ -233,6 +476,10 @@ class ReproServer:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    @property
+    def draining(self) -> bool:
+        return self._state.draining
+
     def start(self) -> "ReproServer":
         """Serve from a background daemon thread; returns self."""
         self._thread = threading.Thread(
@@ -244,13 +491,32 @@ class ReproServer:
     def serve_forever(self) -> None:
         self._http.serve_forever()
 
-    def shutdown(self) -> None:
+    def shutdown(self) -> Dict[str, Any]:
+        """Graceful drain, then stop serving.  Idempotent.
+
+        1. flip ``readyz`` to 503 and refuse new submissions;
+        2. finish (or quarantine) every in-flight execution and resolve
+           stragglers with typed errors, so blocked long-polls return
+           promptly instead of timing out;
+        3. stop the accept loop and close the socket (handler threads
+           finish their in-flight responses first);
+        4. return the drain report (``leaked_keys``/``leaked_jobs`` are
+           empty on a clean drain; completed work is already journaled -
+           cache appends flush per write).
+        """
+        if self.drain_report is not None:
+            return self.drain_report
+        self._state.draining = True
+        report = self.store.drain()
         self._http.shutdown()
         self._http.server_close()
-        self.store.close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        if self.chaos is not None:
+            report["chaos"] = self.chaos.log.as_dict()
+        self.drain_report = report
+        return report
 
     def __enter__(self) -> "ReproServer":
         return self.start()
@@ -269,4 +535,10 @@ def serve(
     return ReproServer(host, port, **kwargs)
 
 
-__all__ = ["MAX_WAIT_SECONDS", "ReproServer", "serve"]
+__all__ = [
+    "MAX_BODY_BYTES",
+    "MAX_WAIT_SECONDS",
+    "RateLimiter",
+    "ReproServer",
+    "serve",
+]

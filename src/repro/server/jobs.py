@@ -20,6 +20,19 @@ lossless :meth:`~repro.sim.metrics.RunResult.to_dict` (``full=True``)
 payloads with the *submitting* scenario echoed as ``config`` - so a
 served result is bit-identical to what ``Scenario.run()`` returns
 in-process, hit or miss.
+
+Failure handling (see ``docs/chaos.md``): an execution that dies on an
+*unexpected* exception (a worker crash, an injected
+:class:`~repro.chaos.InjectedFault`) is retried up to ``retries`` times
+with a bounded deterministic backoff; one that keeps failing is
+**quarantined** - its key is released (never cached) and the job turns
+``failed`` with the error surfaced through ``GET /jobs/<id>`` and the
+client, instead of leaving submitters long-polling forever.  Errors in
+the package's own taxonomy (:class:`~repro.errors.ReproError`) are
+deterministic answers and fail fast without retry.
+:meth:`JobStore.drain` is the graceful-shutdown half: refuse new
+submissions, finish everything queued, then resolve any leaked
+execution with a typed error so every waiter returns promptly.
 """
 
 from __future__ import annotations
@@ -33,8 +46,12 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api import Scenario, Sweep, run_scenarios
 from repro.cache import ResultCache
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError, ServerError
 from repro.suites import Suite
+
+#: Seconds an injected ``worker=delay`` chaos fault adds to one
+#: execution (small on purpose: visible to assertions, cheap in tests).
+CHAOS_WORKER_DELAY_SECONDS = 0.02
 
 JOB_STATES = ("submitted", "running", "done", "failed")
 
@@ -199,6 +216,9 @@ class JobStore:
         job_workers: int = 4,
         run_workers: Optional[int] = None,
         max_jobs: int = 10_000,
+        retries: int = 3,
+        retry_backoff: float = 0.05,
+        chaos=None,
     ):
         if isinstance(job_workers, bool) or not isinstance(job_workers, int) or job_workers < 1:
             raise ConfigurationError(
@@ -212,9 +232,26 @@ class JobStore:
             raise ConfigurationError(
                 f"run_workers must be a positive integer or None, got {run_workers!r}"
             )
+        if isinstance(retries, bool) or not isinstance(retries, int) or retries < 1:
+            raise ConfigurationError(
+                f"retries must be a positive integer (total attempts per "
+                f"execution), got {retries!r}"
+            )
+        if (
+            isinstance(retry_backoff, bool)
+            or not isinstance(retry_backoff, (int, float))
+            or retry_backoff < 0
+        ):
+            raise ConfigurationError(
+                f"retry_backoff must be a non-negative number, got {retry_backoff!r}"
+            )
         self.cache = cache if cache is not None else ResultCache()
         self.run_workers = run_workers
         self.max_jobs = max_jobs
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.chaos = chaos  # a repro.chaos.ChaosInjector, or None
+        self._sleep = time.sleep  # injectable for deterministic tests
         self._executor = ThreadPoolExecutor(
             max_workers=job_workers, thread_name_prefix="repro-job"
         )
@@ -222,9 +259,12 @@ class JobStore:
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
         self._inflight: Dict[str, _Execution] = {}
         self._counter = 0
+        self._closing = False
         self.submitted = 0     # documents accepted
         self.executions = 0    # scenario runs actually executed
         self.coalesced = 0     # slots attached to an in-flight duplicate
+        self.retried = 0       # execution attempts after a worker crash
+        self.quarantined = 0   # executions failed after all retries
 
     # ---- submission --------------------------------------------------
 
@@ -235,6 +275,11 @@ class JobStore:
             scenario.validate()  # 400 now, not a failed job later
         claimed: List[_Execution] = []
         with self._lock:
+            if self._closing:
+                raise ServerError(
+                    "the job store is draining for shutdown and accepts no "
+                    "new submissions"
+                )
             self._counter += 1
             self.submitted += 1
             job = Job(id=f"j-{self._counter:06d}", kind=kind)
@@ -261,8 +306,11 @@ class JobStore:
                 )
             self._jobs[job.id] = job
             self._evict_done_jobs()
-        if claimed:
-            self._executor.submit(self._run_batch, claimed)
+        for execution in claimed:
+            # One pool task per execution (not per batch): a crash or a
+            # quarantine is then isolated to one scenario, and retries
+            # never hold up the rest of the submission.
+            self._executor.submit(self._run_one, execution)
         return job
 
     def _evict_done_jobs(self) -> None:
@@ -278,31 +326,64 @@ class JobStore:
 
     # ---- execution ---------------------------------------------------
 
-    def _run_batch(self, claimed: List[_Execution]) -> None:
-        for execution in claimed:
-            execution.started = True
-        scenarios = [execution.scenario for execution in claimed]
-        try:
-            results = run_scenarios(scenarios, workers=self.run_workers)
-        except Exception as exc:
-            # One engine error fails the whole claimed batch: the keys
-            # stay un-cached and a resubmission re-executes them.
-            with self._lock:
-                for execution in claimed:
-                    self._inflight.pop(execution.key, None)
-            for execution in claimed:
-                execution.error_type = type(exc).__name__
-                execution.error = str(exc)
-                execution.event.set()
-            return
-        with self._lock:
-            self.executions += len(claimed)
-        for execution, result in zip(claimed, results):
+    def _retry_delays(self) -> List[float]:
+        """Bounded deterministic backoff: one sleep before each retry
+        (``retry_backoff * 2**i``)."""
+        return [self.retry_backoff * (2 ** i) for i in range(self.retries - 1)]
+
+    def _run_one(self, execution: _Execution) -> None:
+        """Execute one claimed key: bounded retries on unexpected
+        crashes, quarantine (a surfaced ``failed`` state, never cached)
+        when every attempt dies."""
+        execution.started = True
+        delays = self._retry_delays()
+        last_exc: Optional[BaseException] = None
+        for attempt in range(self.retries):
+            if attempt:
+                with self._lock:
+                    self.retried += 1
+                self._sleep(delays[attempt - 1])
+            try:
+                mode = (
+                    self.chaos.fire("worker", execution.key)
+                    if self.chaos is not None
+                    else None
+                )
+                if mode == "crash":
+                    from repro.chaos import InjectedFault
+
+                    raise InjectedFault(
+                        f"chaos: injected worker crash running {execution.key}"
+                    )
+                if mode == "delay":
+                    self._sleep(CHAOS_WORKER_DELAY_SECONDS)
+                result = run_scenarios(
+                    [execution.scenario], workers=self.run_workers
+                )[0]
+            except ReproError as exc:
+                # The package's own taxonomy is deterministic: the same
+                # scenario fails the same way every time, so retrying
+                # only burns backoff.  Fail fast.
+                last_exc = exc
+                break
+            except Exception as exc:
+                last_exc = exc
+                continue
             payload = self.cache.put(execution.key, result)
             execution.payload = payload
             with self._lock:
+                self.executions += 1
                 self._inflight.pop(execution.key, None)
             execution.event.set()
+            return
+        # Quarantine: release the key un-cached, surface the error.  A
+        # later resubmission re-executes from scratch.
+        with self._lock:
+            self.quarantined += 1
+            self._inflight.pop(execution.key, None)
+        execution.error_type = type(last_exc).__name__
+        execution.error = str(last_exc)
+        execution.event.set()
 
     # ---- lookup ------------------------------------------------------
 
@@ -321,11 +402,66 @@ class JobStore:
                 },
                 "executions": self.executions,
                 "coalesced": self.coalesced,
+                "retried": self.retried,
+                "quarantined": self.quarantined,
                 "inflight": len(self._inflight),
+                "draining": self._closing,
                 "cache": self.cache.stats(),
             }
 
+    # ---- shutdown ----------------------------------------------------
+
+    def drain(self) -> Dict[str, Any]:
+        """Graceful shutdown: refuse new work, finish everything queued,
+        resolve any leaked execution with a typed error.
+
+        Returns the drain report::
+
+            {"drained_jobs": N, "leaked_keys": [...], "leaked_jobs":
+             [...], "cache": {...}}
+
+        On a clean drain ``leaked_keys``/``leaked_jobs`` are empty -
+        every in-flight execution either completed (and was journaled)
+        or quarantined.  Anything still unresolved after the worker pool
+        stops (which should not happen) gets a :class:`ServerError` set
+        and its event fired, so long-pollers return promptly instead of
+        hanging out their full wait.
+        """
+        with self._lock:
+            self._closing = True
+        # Finish queued + running executions; every _run_one resolves
+        # its execution (payload or quarantine) before returning.
+        self._executor.shutdown(wait=True)
+        leaked_keys: List[str] = []
+        with self._lock:
+            for key, execution in list(self._inflight.items()):
+                if not execution.event.is_set():
+                    execution.error_type = "ServerError"
+                    execution.error = (
+                        f"server shut down before execution {key} completed; "
+                        "resubmit to re-run"
+                    )
+                    execution.event.set()
+                    leaked_keys.append(key)
+            self._inflight.clear()
+            leaked_jobs = sorted(
+                job.id
+                for job in self._jobs.values()
+                if job.status not in ("done", "failed")
+            )
+            drained = sum(
+                1 for job in self._jobs.values() if job.status == "done"
+            )
+        return {
+            "drained_jobs": drained,
+            "leaked_keys": leaked_keys,
+            "leaked_jobs": leaked_jobs,
+            "cache": self.cache.stats(),
+        }
+
     def close(self) -> None:
+        with self._lock:
+            self._closing = True
         self._executor.shutdown(wait=True)
 
 

@@ -32,7 +32,13 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Un
 
 from repro.errors import ConfigurationError
 from repro.sim.actions import Action, iter_dsts
-from repro.sim.crashes import CrashDirective, CrashPhase
+from repro.sim.crashes import (
+    CrashDirective,
+    CrashPhase,
+    RepairSpec,
+    draw_repair_delay,
+    normalize_repair_spec,
+)
 from repro.sim.engine import Adversary, Engine
 from repro.sim.specs import bind_positionals, split_spec_string, to_int, to_number
 
@@ -353,18 +359,21 @@ class RecoveringCrashes(Adversary):
     Like :class:`RandomCrashes`, each victim gets a countdown of observed
     actions (uniform in ``1..max_action_index``), but every directive
     carries ``recover_after=repair_delay``: the victim rejoins that many
-    rounds later, restored to its last checkpoint.  Only recovery-aware
-    protocols (``Process.supports_recovery``) accept such directives -
-    the engine rejects the spec on any other protocol.  With
-    ``repeat=True`` a recovered victim is re-armed with a fresh countdown
-    and crashes again, for as long as the run lasts.
+    rounds later, restored to its last checkpoint.  ``repair_delay`` is a
+    *repair spec* - a fixed int, or a ``"uniform:2,6"`` /
+    ``"exp:mean=3"`` distribution drawn per directive from this
+    adversary's seeded RNG (see :mod:`repro.sim.crashes`).  Only
+    recovery-aware protocols (``Process.supports_recovery``) accept such
+    directives - the engine rejects the spec on any other protocol.
+    With ``repeat=True`` a recovered victim is re-armed with a fresh
+    countdown and crashes again, for as long as the run lasts.
     """
 
     def __init__(
         self,
         count: int,
         *,
-        repair_delay: int = 8,
+        repair_delay: RepairSpec = 8,
         max_action_index: int = 40,
         phases: Sequence[CrashPhase] = tuple(CrashPhase),
         victims: Optional[Sequence[int]] = None,
@@ -372,12 +381,10 @@ class RecoveringCrashes(Adversary):
     ):
         if count < 0:
             raise ConfigurationError(f"crash count must be non-negative, got {count!r}")
-        if repair_delay < 1:
-            raise ConfigurationError(
-                f"repair_delay must be >= 1, got {repair_delay!r}"
-            )
         self.count = count
-        self.repair_delay = repair_delay
+        self.repair_delay = normalize_repair_spec(
+            repair_delay, what="'repair_delay' for adversary 'crash-recover'"
+        )
         self.max_action_index = max(1, max_action_index)
         self.phases = tuple(phases)
         self.explicit_victims = list(victims) if victims is not None else None
@@ -418,7 +425,7 @@ class RecoveringCrashes(Adversary):
                     pid=pid,
                     at_round=round_number,
                     phase=self.rng.choice(self.phases),
-                    recover_after=self.repair_delay,
+                    recover_after=draw_repair_delay(self.repair_delay, self.rng),
                 )
             )
             if self.repeat:
@@ -440,8 +447,10 @@ class RackFailures(Adversary):
     kill lands mid-execution for dense and sparse protocols alike.  Every
     member of a triggered rack gets the same directive; with
     ``recover_after`` set the whole rack rejoins together - correlated
-    crash-recover.  The last-survivor guard is respected by truncating a
-    rack kill rather than over-killing.
+    crash-recover (a repair spec like ``"uniform:2,6"`` is drawn **once
+    per rack**, so the rack still rejoins as one).  The last-survivor
+    guard is respected by truncating a rack kill rather than
+    over-killing.
     """
 
     def __init__(
@@ -452,15 +461,15 @@ class RackFailures(Adversary):
         groups: Optional[Sequence[Sequence[int]]] = None,
         max_trigger: int = 30,
         phase: CrashPhase = CrashPhase.BEFORE_ACTION,
-        recover_after: Optional[int] = None,
+        recover_after: Optional[RepairSpec] = None,
     ):
         if racks < 0:
             raise ConfigurationError(f"rack count must be non-negative, got {racks!r}")
         if group_size < 1:
             raise ConfigurationError(f"group_size must be >= 1, got {group_size!r}")
-        if recover_after is not None and recover_after < 1:
-            raise ConfigurationError(
-                f"recover_after must be >= 1, got {recover_after!r}"
+        if recover_after is not None:
+            recover_after = normalize_repair_spec(
+                recover_after, what="'recover_after' for adversary 'rack'"
             )
         self.racks = racks
         self.group_size = group_size
@@ -503,6 +512,12 @@ class RackFailures(Adversary):
         projected = engine.crashed_count
         while self._triggers and self._triggers[0][0] <= self._seen_actions:
             _, members = self._triggers.pop(0)
+            # One repair draw per rack: every member rejoins together.
+            rejoin = (
+                draw_repair_delay(self.recover_after, self.rng)
+                if self.recover_after is not None
+                else None
+            )
             for pid in members:
                 if not 0 <= pid < engine.t or engine.processes[pid].retired:
                     continue
@@ -514,7 +529,7 @@ class RackFailures(Adversary):
                         pid=pid,
                         at_round=round_number,
                         phase=self.phase,
-                        recover_after=self.recover_after,
+                        recover_after=rejoin,
                     )
                 )
         return directives
@@ -528,9 +543,10 @@ class NeighbourCascade(Adversary):
     ``t``) independently with probability ``p``, ``hop_delay`` rounds
     later, and those crashes cascade in turn.  ``budget`` caps the total
     number of crashes (origins included); ``recover_after`` turns the
-    cascade into a rolling outage where victims rejoin.  All coin flips
-    happen at infection time in ascending-neighbour order, so the whole
-    cascade is a deterministic function of the seed.
+    cascade into a rolling outage where victims rejoin (a repair spec
+    like ``"exp:mean=3"`` is drawn per victim).  All coin flips happen
+    at infection time in ascending-neighbour order, so the whole cascade
+    is a deterministic function of the seed.
     """
 
     def __init__(
@@ -541,15 +557,16 @@ class NeighbourCascade(Adversary):
         hop_delay: int = 1,
         budget: Optional[int] = None,
         phase: CrashPhase = CrashPhase.BEFORE_ACTION,
-        recover_after: Optional[int] = None,
+        recover_after: Optional[RepairSpec] = None,
     ):
         if not 0.0 <= p <= 1.0:
             raise ConfigurationError(f"hop probability must be in [0, 1], got {p!r}")
         if hop_delay < 1:
             raise ConfigurationError(f"hop_delay must be >= 1, got {hop_delay!r}")
-        if recover_after is not None and recover_after < 1:
-            raise ConfigurationError(
-                f"recover_after must be >= 1, got {recover_after!r}"
+        if recover_after is not None:
+            recover_after = normalize_repair_spec(
+                recover_after,
+                what="'recover_after' for adversary 'cascade-neighbours'",
             )
         self.origins = list(origins)
         self.p = p
@@ -593,7 +610,11 @@ class NeighbourCascade(Adversary):
                     pid=pid,
                     at_round=round_number,
                     phase=self.phase,
-                    recover_after=self.recover_after,
+                    recover_after=(
+                        draw_repair_delay(self.recover_after, self.rng)
+                        if self.recover_after is not None
+                        else None
+                    ),
                 )
             )
             for neighbour in sorted(
@@ -713,7 +734,7 @@ def _build_crash_recover(params) -> Adversary:
     kind = "crash-recover"
     kwargs = {}
     if "repair_delay" in params:
-        kwargs["repair_delay"] = _int_param(params, "repair_delay", kind, minimum=1)
+        kwargs["repair_delay"] = params["repair_delay"]  # ctor normalizes
     if "max_action_index" in params:
         kwargs["max_action_index"] = _int_param(params, "max_action_index", kind)
     if params.get("victims") is not None:
@@ -752,7 +773,7 @@ def _build_rack(params) -> Adversary:
     if "phase" in params:
         kwargs["phase"] = _coerce_phase(params["phase"])
     if params.get("recover_after") is not None:
-        kwargs["recover_after"] = _int_param(params, "recover_after", kind, minimum=1)
+        kwargs["recover_after"] = params["recover_after"]  # ctor normalizes
     return RackFailures(_int_param(params, "racks", kind), **kwargs)
 
 
@@ -768,7 +789,7 @@ def _build_cascade_neighbours(params) -> Adversary:
     if "phase" in params:
         kwargs["phase"] = _coerce_phase(params["phase"])
     if params.get("recover_after") is not None:
-        kwargs["recover_after"] = _int_param(params, "recover_after", kind, minimum=1)
+        kwargs["recover_after"] = params["recover_after"]  # ctor normalizes
     return NeighbourCascade(
         _pid_list(params["origins"], what="'origins'"), **kwargs
     )
@@ -1084,6 +1105,18 @@ def normalize_adversary_spec(spec: AdversarySpec) -> Optional[Dict[str, object]]
                 "'parts' for the 'compose' adversary must be a non-empty list of specs"
             )
         params["parts"] = [normalize_adversary_spec(part) for part in params["parts"]]
+    # Canonicalise repair specs so spelling variants ("uniform:2,6" vs.
+    # "uniform:2-6" vs. the dict form) serialize - and content-address -
+    # identically, and so bad values fail here, naming the value.
+    if kind == "crash-recover" and "repair_delay" in params:
+        params["repair_delay"] = normalize_repair_spec(
+            params["repair_delay"],
+            what="'repair_delay' for adversary 'crash-recover'",
+        )
+    if kind in ("rack", "cascade-neighbours") and params.get("recover_after") is not None:
+        params["recover_after"] = normalize_repair_spec(
+            params["recover_after"], what=f"'recover_after' for adversary {kind!r}"
+        )
     return params
 
 

@@ -28,6 +28,29 @@ state.  Only recovery-aware protocols (``Process.supports_recovery``)
 accept such directives; the engine raises :class:`AdversaryError` for
 any other victim, because a protocol with no checkpoint discipline has
 no well-defined state to rejoin with.
+
+Repair-time distributions
+-------------------------
+
+Real repairs are not a constant: a reboot takes a few rounds, a
+re-image takes many.  The adversary-facing ``repair_delay`` /
+``recover_after`` parameters therefore accept a *repair spec* - a fixed
+integer, or a distribution drawn once per directive from the
+adversary's own seeded RNG (so schedules stay deterministic functions
+of the scenario seed)::
+
+    8                   fixed: rejoin 8 rounds later
+    "uniform:2,6"       uniform integer delay in [2, 6]
+    "exp:mean=3"        exponential with the given mean, rounded,
+                        floored at 1
+    {"kind": "uniform", "low": 2, "high": 6}     (dict forms)
+    {"kind": "exp", "mean": 3.0}
+
+Inside an adversary *string* spec, where commas separate arguments,
+spell the uniform form ``uniform:2-6`` or ``uniform:2..6``.
+:func:`normalize_repair_spec` canonicalises and validates (errors name
+the offending value); :func:`draw_repair_delay` performs the per-
+directive draw.  See ``docs/faults.md``.
 """
 
 from __future__ import annotations
@@ -35,10 +58,126 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from enum import Enum
-from typing import FrozenSet, Optional
+from typing import Dict, FrozenSet, Optional, Union
 
+from repro.errors import ConfigurationError
 from repro.sim.actions import Action, Broadcast, SendBatch
 from repro.sim.rng import choose_subset
+from repro.sim.specs import to_int, to_number
+
+#: What repair-delay parameters accept: a fixed round count, a
+#: distribution grammar string, or a canonical distribution dict.
+RepairSpec = Union[int, str, Dict[str, object]]
+
+#: Normalised form: a fixed int, or one of these distribution kinds.
+REPAIR_KINDS = ("uniform", "exp")
+
+
+def _parse_repair_string(text: str, *, what: str):
+    head, sep, rest = text.partition(":")
+    kind = head.strip().lower()
+    if not sep:
+        return to_int(text, what=what, minimum=1)
+    if kind == "uniform":
+        for bounds_sep in (",", "..", "-"):
+            if bounds_sep in rest:
+                low_text, _, high_text = rest.partition(bounds_sep)
+                break
+        else:
+            raise ConfigurationError(
+                f"{what} uniform bounds are spelled 'uniform:LO,HI' "
+                f"(or LO-HI / LO..HI inside an adversary string spec), "
+                f"got {text!r}"
+            )
+        return {
+            "kind": "uniform",
+            "low": to_int(low_text, what=f"{what} uniform low bound", minimum=1),
+            "high": to_int(high_text, what=f"{what} uniform high bound", minimum=1),
+        }
+    if kind == "exp":
+        rest = rest.strip()
+        if rest.lower().startswith("mean="):
+            rest = rest[5:]
+        return {"kind": "exp", "mean": to_number(rest, what=f"{what} exp mean")}
+    raise ConfigurationError(
+        f"{what} must be an integer, 'uniform:LO,HI' or 'exp:mean=M', "
+        f"got {text!r}"
+    )
+
+
+def normalize_repair_spec(value: RepairSpec, *, what: str):
+    """Canonicalise a repair spec to an int or a validated
+    ``{"kind": ..., <param>: ...}`` dict.
+
+    Raises :class:`ConfigurationError` naming the offending value for
+    unknown kinds, non-integer bounds, inverted ranges, and non-positive
+    means.
+    """
+    if isinstance(value, str):
+        value = _parse_repair_string(value, what=what)
+    if isinstance(value, bool):
+        raise ConfigurationError(f"{what} must be an integer, got {value!r}")
+    if isinstance(value, (int, float)):
+        return to_int(value, what=what, minimum=1)
+    if not isinstance(value, dict):
+        raise ConfigurationError(
+            f"{what} must be an integer, a 'uniform:LO,HI' / 'exp:mean=M' "
+            f"string, or a distribution dict, got {value!r}"
+        )
+    kind = str(value.get("kind", "")).strip().lower()
+    if kind not in REPAIR_KINDS:
+        raise ConfigurationError(
+            f"unknown repair distribution kind {value.get('kind')!r} in "
+            f"{what}; known kinds: " + ", ".join(REPAIR_KINDS)
+        )
+    if kind == "uniform":
+        unknown = set(value) - {"kind", "low", "high"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown parameter(s) {sorted(unknown)} for uniform "
+                f"{what}; accepted: low, high"
+            )
+        missing = {"low", "high"} - set(value)
+        if missing:
+            raise ConfigurationError(
+                f"uniform {what} requires parameter(s) {sorted(missing)}"
+            )
+        low = to_int(value["low"], what=f"{what} uniform low bound", minimum=1)
+        high = to_int(value["high"], what=f"{what} uniform high bound", minimum=1)
+        if high < low:
+            raise ConfigurationError(
+                f"{what} uniform bounds must satisfy low <= high, got "
+                f"[{low}, {high}]"
+            )
+        return {"kind": "uniform", "low": low, "high": high}
+    unknown = set(value) - {"kind", "mean"}
+    if unknown:
+        raise ConfigurationError(
+            f"unknown parameter(s) {sorted(unknown)} for exp {what}; "
+            "accepted: mean"
+        )
+    if "mean" not in value:
+        raise ConfigurationError(f"exp {what} requires parameter(s) ['mean']")
+    mean = to_number(value["mean"], what=f"{what} exp mean")
+    if mean <= 0:
+        raise ConfigurationError(f"{what} exp mean must be > 0, got {mean!r}")
+    return {"kind": "exp", "mean": float(mean)}
+
+
+def draw_repair_delay(spec, rng: random.Random) -> int:
+    """One repair delay from a normalised spec.
+
+    A fixed int passes through **without touching the RNG**, so
+    integer-delay scenarios keep their historical draw order; a
+    distribution consumes exactly one draw.  Exponential delays round to
+    the nearest integer and floor at 1 (a repair takes at least a
+    round).
+    """
+    if isinstance(spec, int):
+        return spec
+    if spec["kind"] == "uniform":
+        return rng.randint(spec["low"], spec["high"])
+    return max(1, int(rng.expovariate(1.0 / spec["mean"]) + 0.5))
 
 
 class CrashPhase(Enum):

@@ -160,14 +160,93 @@ def test_cache_journal_last_write_wins(tmp_path):
     assert len(ResultCache(path=path)) == 1  # replay dedups by key
 
 
-def test_cache_journal_names_broken_lines(tmp_path):
+def test_cache_journal_skips_and_counts_broken_lines(tmp_path):
+    # The degradation contract (docs/chaos.md): corrupt lines - torn
+    # writes, bit rot, wrong shapes - are skipped and counted on replay,
+    # never fatal.  Valid lines around them still load.
     path = tmp_path / "cache.jsonl"
-    path.write_text("not json\n")
-    with pytest.raises(ConfigurationError, match="line 1"):
-        ResultCache(path=path)
-    path.write_text(json.dumps({"key": 1, "result": {}}) + "\n")
-    with pytest.raises(ConfigurationError, match="'key'"):
-        ResultCache(path=path)
+    scenario = _scenario()
+    ResultCache(path=path).put(scenario.cache_key(), scenario.run())
+    good = path.read_text()
+    path.write_text(
+        "not json\n"
+        + json.dumps({"key": 1, "result": {}}) + "\n"
+        + good
+        + '{"key": "torn-mid-wri'
+    )
+    revived = ResultCache(path=path)
+    assert len(revived) == 1
+    assert revived.get(scenario.cache_key()) is not None
+    assert revived.stats()["journal_corrupt"] == 3
+
+
+def test_cache_journal_checksums_detect_bit_rot(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    scenario = _scenario()
+    ResultCache(path=path).put(scenario.cache_key(), scenario.run())
+    line = path.read_text()
+    assert '"crc":' in line
+    # Flip one payload byte: the line still parses, the CRC catches it.
+    rotted = line.replace('"work":', '"wonk":', 1)
+    assert rotted != line
+    path.write_text(rotted)
+    revived = ResultCache(path=path)
+    assert len(revived) == 0
+    assert revived.stats()["journal_corrupt"] == 1
+
+
+def test_cache_journal_reads_pre_crc_lines(tmp_path):
+    # Journals written before CRC32 checksums (no "crc" field) replay
+    # fine and are counted as unchecksummed.
+    path = tmp_path / "cache.jsonl"
+    scenario = _scenario()
+    ResultCache(path=path).put(scenario.cache_key(), scenario.run())
+    record = json.loads(path.read_text())
+    del record["crc"]
+    path.write_text(json.dumps(record, sort_keys=True) + "\n")
+    revived = ResultCache(path=path)
+    assert len(revived) == 1
+    assert revived.get(scenario.cache_key()).metrics == scenario.run().metrics
+    stats = revived.stats()
+    assert stats["journal_unchecksummed"] == 1
+    assert stats["journal_corrupt"] == 0
+
+
+def test_cache_journal_append_failure_degrades_not_breaks(tmp_path):
+    # A sick disk degrades persistence, never correctness: the entry
+    # stays live in memory and the failure is counted.
+    path = tmp_path / "cache.jsonl"
+    cache = ResultCache(path=path)
+    scenario = _scenario()
+    cache.path = tmp_path / "no-such-dir" / "cache.jsonl"  # appends fail
+    cache.put(scenario.cache_key(), scenario.run())
+    assert cache.get(scenario.cache_key()) is not None
+    assert cache.stats()["journal_errors"] == 1
+
+
+def test_verify_journal_reports_line_classes(tmp_path):
+    from repro.cache import verify_journal
+
+    path = tmp_path / "cache.jsonl"
+    cache = ResultCache(path=path)
+    a, b = _scenario(), _scenario(seed=8)
+    cache.put(a.cache_key(), a.run())
+    cache.put(b.cache_key(), b.run())
+    cache.put(a.cache_key(), a.run())  # stale first write of a
+    record = json.loads(path.read_text().splitlines()[0])
+    del record["crc"]
+    with path.open("a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")  # pre-CRC
+        handle.write("garbage line\n")
+    audit = verify_journal(path)
+    assert audit["lines"] == 5
+    assert audit["live"] == 2
+    assert audit["stale"] == 2
+    assert audit["corrupt"] == 1
+    assert audit["unchecksummed"] == 1
+    assert audit["ok"] is False
+    with pytest.raises(ConfigurationError, match="does not exist"):
+        verify_journal(tmp_path / "missing.jsonl")
 
 
 # ---- run_scenarios with a cache ---------------------------------------------

@@ -319,6 +319,32 @@ def test_cache_compact_verb(tmp_path, capsys):
     assert main(["cache", "compact", str(tmp_path / "absent.jsonl")]) == 2
 
 
+def test_cache_verify_verb(tmp_path, capsys):
+    journal = tmp_path / "cache.jsonl"
+    from repro.cache import ResultCache
+
+    cache = ResultCache(path=journal)
+    scenario = Scenario(protocol="A", n=8, t=2, seed=0)
+    cache.put(scenario.cache_key(), scenario.run())
+    assert main(["cache", "verify", str(journal)]) == 0
+    out = capsys.readouterr().out
+    assert "1 live" in out and "0 corrupt" in out
+
+    with journal.open("a") as handle:
+        handle.write("{torn\n")
+    assert main(["cache", "verify", str(journal)]) == 1
+    captured = capsys.readouterr()
+    assert "1 corrupt" in captured.out
+    assert "cache compact" in captured.err
+
+    assert main(["cache", "verify", str(journal), "--json"]) == 1
+    audit = json.loads(capsys.readouterr().out)
+    assert audit["corrupt"] == 1 and audit["live"] == 1
+    assert audit["ok"] is False
+
+    assert main(["cache", "verify", str(tmp_path / "absent.jsonl")]) == 2
+
+
 def test_bench_snapshot_and_timeline_verbs(tmp_path, capsys, monkeypatch):
     monkeypatch.setenv("REPRO_COMMIT", "cli01")
     bench = tmp_path / "bench.json"

@@ -2,6 +2,7 @@
 and the correlated-failure adversaries (rack kills, neighbour cascades)."""
 
 import json
+import random
 
 import pytest
 
@@ -15,7 +16,11 @@ from repro.sim.adversary import (
     RecoveringCrashes,
     adversary_from_spec,
 )
-from repro.sim.crashes import CrashDirective
+from repro.sim.crashes import (
+    CrashDirective,
+    draw_repair_delay,
+    normalize_repair_spec,
+)
 from repro.sim.trace import Trace
 
 
@@ -288,3 +293,171 @@ def test_malformed_recovery_specs_name_the_offending_value(spec, fragment):
     with pytest.raises(ConfigurationError) as excinfo:
         adversary_from_spec(spec)
     assert fragment in str(excinfo.value)
+
+
+# ---- repair-time distributions ---------------------------------------
+
+
+def test_repair_spec_spellings_canonicalise_identically():
+    canonical = {"kind": "uniform", "low": 2, "high": 6}
+    for spelling in (
+        "uniform:2,6",
+        "uniform:2-6",
+        "uniform:2..6",
+        {"kind": "uniform", "low": 2, "high": 6},
+    ):
+        assert normalize_repair_spec(spelling, what="x") == canonical
+    assert (
+        normalize_repair_spec("exp:mean=3", what="x")
+        == normalize_repair_spec("exp:3", what="x")
+        == {"kind": "exp", "mean": 3.0}
+    )
+    # Fixed delays stay plain ints (floats are coerced, not kept).
+    assert normalize_repair_spec(8, what="x") == 8
+    assert normalize_repair_spec(8.0, what="x") == 8
+    assert normalize_repair_spec("8", what="x") == 8
+
+
+def test_repair_spec_spellings_share_a_cache_key():
+    def key(repair_delay):
+        return Scenario(
+            protocol="D-recovery",
+            n=48,
+            t=6,
+            seed=3,
+            adversary={
+                "kind": "crash-recover",
+                "count": 2,
+                "repair_delay": repair_delay,
+            },
+        ).cache_key()
+
+    assert (
+        key("uniform:2,6")
+        == key("uniform:2-6")
+        == key({"kind": "uniform", "low": 2, "high": 6})
+    )
+    assert key("exp:mean=3") == key({"kind": "exp", "mean": 3})
+
+
+@pytest.mark.parametrize(
+    "spec, fragment",
+    [
+        ("uniform:6,2", "[6, 2]"),
+        ("uniform:0-4", "got 0"),
+        ("uniform:2", "'uniform:LO,HI'"),
+        ("exp:mean=0", "0.0"),
+        ("exp:mean=fast", "'fast'"),
+        ("soon", "'soon'"),
+        ({"kind": "weibull", "shape": 2}, "'weibull'"),
+        ({"kind": "uniform", "low": 2}, "['high']"),
+        ({"kind": "uniform", "low": 2, "high": 6, "step": 2}, "['step']"),
+        ({"kind": "exp"}, "['mean']"),
+        (True, "True"),
+    ],
+)
+def test_malformed_repair_specs_name_the_offending_value(spec, fragment):
+    with pytest.raises(ConfigurationError) as excinfo:
+        normalize_repair_spec(spec, what="'repair_delay'")
+    assert fragment in str(excinfo.value)
+
+
+def test_draw_repair_delay_is_a_pure_function_of_the_rng():
+    uniform = normalize_repair_spec("uniform:2,6", what="x")
+    exp = normalize_repair_spec("exp:mean=3", what="x")
+    assert [
+        draw_repair_delay(uniform, random.Random(1234)) for _ in range(3)
+    ] == [5, 5, 5]
+    rng = random.Random(1234)
+    assert [draw_repair_delay(uniform, rng) for _ in range(5)] == [5, 2, 2, 2, 6]
+    rng = random.Random(1234)
+    assert [draw_repair_delay(exp, rng) for _ in range(5)] == [10, 2, 1, 7, 8]
+    # Every uniform draw respects the bounds; exp floors at one round.
+    rng = random.Random(99)
+    assert all(2 <= draw_repair_delay(uniform, rng) <= 6 for _ in range(200))
+    tiny = normalize_repair_spec("exp:mean=0.01", what="x")
+    assert all(draw_repair_delay(tiny, rng) >= 1 for _ in range(50))
+
+
+def test_fixed_repair_delay_never_touches_the_rng():
+    # Integer specs bypass the RNG entirely, so pre-distribution
+    # scenarios keep their historical draw order (and pinned metrics).
+    rng = random.Random(7)
+    before = rng.getstate()
+    assert draw_repair_delay(8, rng) == 8
+    assert rng.getstate() == before
+
+
+@pytest.mark.parametrize(
+    "adversary",
+    [
+        {
+            "kind": "crash-recover",
+            "count": 2,
+            "repair_delay": "uniform:2,6",
+            "max_action_index": 12,
+        },
+        {
+            "kind": "crash-recover",
+            "count": 2,
+            "repair_delay": "exp:mean=3",
+            "max_action_index": 12,
+        },
+        {"kind": "rack", "racks": 1, "group_size": 3, "recover_after": "uniform:3,9"},
+        {
+            "kind": "cascade-neighbours",
+            "origins": [0],
+            "p": 0.5,
+            "recover_after": "exp:mean=3",
+        },
+    ],
+)
+def test_distribution_repairs_recover_deterministically(adversary):
+    def run():
+        return Scenario(
+            protocol="D-recovery", n=48, t=6, seed=5, adversary=adversary
+        ).run()
+
+    first, second = run(), run()
+    assert first.completed and second.completed
+    assert first.metrics.recoveries > 0
+    assert first.metrics.as_dict() == second.metrics.as_dict()
+
+
+def test_distribution_repair_scenario_survives_json_round_trip():
+    scenario = Scenario(
+        protocol="D-recovery",
+        n=48,
+        t=6,
+        seed=5,
+        adversary={
+            "kind": "crash-recover",
+            "count": 2,
+            "repair_delay": "uniform:2,6",
+            "max_action_index": 12,
+        },
+    )
+    clone = Scenario.from_dict(json.loads(json.dumps(scenario.to_dict())))
+    first, second = scenario.run(), clone.run()
+    assert first.metrics.as_dict() == second.metrics.as_dict()
+    assert first.metrics.recoveries > 0
+
+
+def test_rack_repair_distribution_rejoins_whole_racks_together():
+    # One draw per rack: every member of a rack rejoins in the same
+    # round, whatever the distribution said for that rack.
+    trace = Trace(enabled=True)
+    result = run_protocol(
+        "D-recovery",
+        40,
+        8,
+        adversary=adversary_from_spec(
+            {"kind": "rack", "racks": 1, "group_size": 3, "recover_after": "uniform:3,9"}
+        ),
+        seed=2,
+        trace=trace,
+    )
+    assert result.completed
+    recoveries = [e for e in trace.events if e.kind == "recover"]
+    assert len(recoveries) == result.metrics.crashes >= 2
+    assert len({e.round for e in recoveries}) == 1
